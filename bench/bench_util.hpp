@@ -1,0 +1,94 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Every harness accepts "key=value" overrides:
+//   scale=0.25        shrink warmup/measure cycles (quick smoke run)
+//   workloads=BFS,KMN restrict the benchmark set
+//   csv=true          emit CSV instead of aligned tables
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace gnoc::bench {
+
+/// Parsed common options.
+struct BenchOptions {
+  RunLengths lengths;
+  std::vector<WorkloadProfile> workloads;
+  bool csv = false;
+  Config raw;
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opts;
+  opts.raw = Config::FromArgs(argc, argv);
+  const double scale = opts.raw.GetDouble("scale", 1.0);
+  opts.lengths = RunLengths{}.Scaled(scale);
+  opts.csv = opts.raw.GetBool("csv", false);
+  const std::string list = opts.raw.GetString("workloads", "");
+  if (list.empty()) {
+    opts.workloads = AllWorkloads();
+  } else {
+    std::vector<std::string> names;
+    std::istringstream iss(list);
+    std::string token;
+    while (std::getline(iss, token, ',')) names.push_back(token);
+    opts.workloads = WorkloadSubset(names);
+  }
+  return opts;
+}
+
+/// Stderr progress ticker for long sweeps. Silent when stderr is not a
+/// terminal so piped/tee'd harness output stays clean.
+inline ProgressFn StderrProgress() {
+  if (isatty(fileno(stderr)) == 0) return nullptr;
+  return [](const std::string& scheme, const std::string& workload, int done,
+            int total) {
+    std::cerr << "\r[" << done + 1 << "/" << total << "] " << scheme << " / "
+              << workload << "          " << std::flush;
+    if (done + 1 == total) std::cerr << '\n';
+  };
+}
+
+/// Prints a table (or CSV) and flushes.
+inline void Emit(const TextTable& table, bool csv) {
+  std::cout << (csv ? table.RenderCsv() : table.Render()) << std::flush;
+}
+
+/// Prints the per-workload speedups of each scheme vs a baseline plus the
+/// geometric mean row, in the layout the paper's bar figures use.
+inline void PrintSpeedupFigure(const SweepResult& result,
+                               const std::string& baseline,
+                               const std::vector<std::string>& schemes,
+                               bool csv) {
+  std::vector<std::string> header{"benchmark"};
+  for (const auto& s : schemes) header.push_back(s);
+  TextTable table(header);
+  for (const auto& workload : result.workloads()) {
+    std::vector<double> row;
+    row.reserve(schemes.size());
+    for (const auto& s : schemes) {
+      row.push_back(result.Speedup(s, workload, baseline));
+    }
+    table.AddRow(workload, row);
+  }
+  std::vector<double> geomeans;
+  geomeans.reserve(schemes.size());
+  for (const auto& s : schemes) {
+    geomeans.push_back(result.GeomeanSpeedup(s, baseline));
+  }
+  table.AddRow("GEOMEAN", geomeans);
+  Emit(table, csv);
+}
+
+}  // namespace gnoc::bench

@@ -1,0 +1,80 @@
+// Google-benchmark microbenchmarks of the simulator's hot paths: arbiters,
+// cache accesses, router ticks and whole-network cycles. These are not
+// paper figures; they document the simulator's own performance so users can
+// size their sweeps.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gpgpu/cache.hpp"
+#include "gpgpu/workload.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/network.hpp"
+#include "sim/gpu_system.hpp"
+
+namespace {
+
+using namespace gnoc;
+
+void BM_RoundRobinArbiter(benchmark::State& state) {
+  RoundRobinArbiter arb(10);
+  std::vector<bool> requests(10, true);
+  requests[3] = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arb.Arbitrate(requests));
+  }
+}
+BENCHMARK(BM_RoundRobinArbiter);
+
+void BM_MatrixArbiter(benchmark::State& state) {
+  MatrixArbiter arb(10);
+  std::vector<bool> requests(10, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arb.Arbitrate(requests));
+  }
+}
+BENCHMARK(BM_MatrixArbiter);
+
+void BM_CacheAccess(benchmark::State& state) {
+  SetAssocCache cache(CacheConfig{64 * 1024, 64, 8});
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Access(rng.NextBounded(1 << 20) * 64, false).hit);
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+/// One idle network cycle (64 routers, no traffic): the simulator's floor.
+void BM_NetworkCycleIdle(benchmark::State& state) {
+  NetworkConfig cfg;
+  Network net(cfg);
+  for (auto _ : state) {
+    net.Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkCycleIdle);
+
+/// One loaded GPGPU cycle (56 SMs + 8 MCs + 64 routers, KMN workload).
+void BM_GpuCycleLoaded(benchmark::State& state) {
+  GpuConfig cfg = GpuConfig::Baseline();
+  GpuSystem gpu(cfg, FindWorkload("KMN"));
+  for (Cycle c = 0; c < 2000; ++c) gpu.Tick();  // reach steady state
+  for (auto _ : state) {
+    gpu.Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_GpuCycleLoaded);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Example: explore MC placements — analytic hop counts (Eq. 3 / Table 1),
+// the protocol-deadlock safety analysis (Sec. 3.2.1), and measured IPC for
+// a chosen workload, side by side.
+//
+// Usage: placement_explorer [workload=SRAD] [routing=xy] [scale=1.0]
+#include <iostream>
+
+#include "analytic/hop_count.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "noc/deadlock.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gnoc;
+
+  const Config args = Config::FromArgs(argc, argv);
+  const std::string name = args.GetString("workload", "SRAD");
+  const RoutingAlgorithm routing =
+      ParseRouting(args.GetString("routing", "xy"));
+  const RunLengths lengths =
+      RunLengths{}.Scaled(args.GetDouble("scale", 1.0));
+  const WorkloadProfile& workload = FindWorkload(name);
+
+  std::cout << "Workload: " << workload.name << ", routing: "
+            << RoutingName(routing) << "\n\n";
+
+  TextTable table({"placement", "avg hops", "mixed links", "strongest safe VC"
+                   " policy", "IPC (split)", "IPC (strongest)"});
+  for (McPlacement placement : kAllPlacements) {
+    const TilePlan plan(8, 8, 8, placement);
+    const SafetyReport safety = AnalyzeSafety(plan, routing);
+    const VcPolicyKind best = safety.BestSafePolicy();
+
+    GpuConfig split_cfg = GpuConfig::Baseline();
+    split_cfg.placement = placement;
+    split_cfg.routing = routing;
+    GpuSystem split_gpu(split_cfg, workload);
+    const double split_ipc =
+        split_gpu.Run(lengths.warmup, lengths.measure).ipc;
+
+    GpuConfig best_cfg = split_cfg;
+    best_cfg.vc_policy = best;
+    GpuSystem best_gpu(best_cfg, workload);
+    const double best_ipc = best_gpu.Run(lengths.warmup, lengths.measure).ipc;
+
+    table.AddRow({McPlacementName(placement),
+                  FormatDouble(AverageHops(plan), 3),
+                  std::to_string(safety.mixed_links), VcPolicyName(best),
+                  FormatDouble(split_ipc, 2), FormatDouble(best_ipc, 2)});
+  }
+  std::cout << table.Render();
+  std::cout << "\nNote the paper's Sec. 4.2 punchline: the placement with the"
+               "\nmost hops (bottom) combined with monopolized VCs beats the"
+               "\nplacement with the fewest hops (diamond).\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "analytic/link_coefficients.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace gnoc {
+
+CoefficientMap::CoefficientMap(int width, int height)
+    : width_(width),
+      height_(height),
+      counts_(static_cast<std::size_t>(width * height * kNumPorts), 0) {}
+
+std::size_t CoefficientMap::Index(Coord node, Port port) const {
+  assert(node.x >= 0 && node.x < width_ && node.y >= 0 && node.y < height_);
+  return static_cast<std::size_t>((node.y * width_ + node.x) * kNumPorts +
+                                  PortIndex(port));
+}
+
+int CoefficientMap::Count(Coord node, Port port) const {
+  return counts_[Index(node, port)];
+}
+
+void CoefficientMap::Add(Coord node, Port port, int delta) {
+  counts_[Index(node, port)] += delta;
+}
+
+int CoefficientMap::Max() const {
+  return *std::max_element(counts_.begin(), counts_.end());
+}
+
+long long CoefficientMap::Total() const {
+  long long total = 0;
+  for (int c : counts_) total += c;
+  return total;
+}
+
+std::string CoefficientMap::RenderGrid(Port port) const {
+  std::ostringstream oss;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      oss << std::setw(5) << Count({x, y}, port);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+CoefficientMap ComputeLinkCoefficients(const TilePlan& plan,
+                                       RoutingAlgorithm routing,
+                                       TrafficClass cls, bool idealized) {
+  CoefficientMap map(plan.width(), plan.height());
+  std::vector<NodeId> cores;
+  if (idealized) {
+    for (NodeId n = 0; n < plan.num_nodes(); ++n) cores.push_back(n);
+  } else {
+    cores = plan.core_nodes();
+  }
+  for (NodeId core : cores) {
+    for (NodeId mc : plan.mc_nodes()) {
+      const Coord src = cls == TrafficClass::kRequest ? plan.CoordOf(core)
+                                                      : plan.CoordOf(mc);
+      const Coord dst = cls == TrafficClass::kRequest ? plan.CoordOf(mc)
+                                                      : plan.CoordOf(core);
+      Coord here = src;
+      while (here != dst) {
+        const Port out = ComputeOutputPort(routing, cls, here, dst);
+        map.Add(here, out);
+        switch (out) {
+          case Port::kEast: ++here.x; break;
+          case Port::kWest: --here.x; break;
+          case Port::kSouth: ++here.y; break;
+          case Port::kNorth: --here.y; break;
+          case Port::kLocal: assert(false); break;
+        }
+      }
+    }
+  }
+  return map;
+}
+
+int Eq2CoefficientSouth(int n, int i) { return n * i; }
+int Eq2CoefficientNorth(int n, int i) { return n * (i - 1); }
+int Eq2CoefficientEast(int n, int j) { return j * (n - j); }
+int Eq2CoefficientWest(int n, int j) { return (n - j + 1) * (j - 1); }
+
+}  // namespace gnoc

@@ -1,0 +1,75 @@
+// Link-utilization coefficients (paper Eq. 2, Figs. 4 & 6).
+//
+// A coefficient is the number of (source, destination) communication pairs
+// whose route crosses a given directed link, under the idealized assumption
+// that every tile hosts a core sending one request to every MC and every MC
+// answers each core once. Multiplying a coefficient by the per-pair traffic
+// volume (Trqs or Trep from Eq. 1) approximates the flit load on that link.
+//
+// The paper derives closed forms for the bottom placement with XY routing
+// (Eq. 2, 1-based row i and column j):
+//
+//   Csouth = N * i          Cnorth = N * (i - 1)        [reply mirror-image]
+//   Ceast  = j * (N - j)    Cwest  = (N - j + 1) * (j - 1)
+//
+// This module provides both those closed forms and a general enumeration for
+// any (placement, routing) pair, which the tests cross-validate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/placement.hpp"
+#include "noc/routing.hpp"
+
+namespace gnoc {
+
+/// Per-directed-link crossing counts for one traffic class.
+class CoefficientMap {
+ public:
+  CoefficientMap(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  int Count(Coord node, Port port) const;
+  void Add(Coord node, Port port, int delta = 1);
+
+  /// Maximum coefficient over all links (congestion hot spot measure).
+  int Max() const;
+
+  /// Sum of all coefficients (proportional to total link traversals, i.e.
+  /// average hop count x pairs).
+  long long Total() const;
+
+  /// Renders the vertical (south/north) or horizontal (east/west)
+  /// coefficients as an ASCII grid, one row per mesh row.
+  std::string RenderGrid(Port port) const;
+
+ private:
+  std::size_t Index(Coord node, Port port) const;
+
+  int width_;
+  int height_;
+  std::vector<int> counts_;
+};
+
+/// Enumerates the crossing counts of `cls` traffic: requests are core->MC
+/// pairs, replies MC->core pairs, one pair each, routed by `routing`.
+/// When `idealized` is true every tile (including MC tiles) counts as a
+/// core, matching the paper's Eq. 2 derivation; otherwise only SM tiles do.
+CoefficientMap ComputeLinkCoefficients(const TilePlan& plan,
+                                       RoutingAlgorithm routing,
+                                       TrafficClass cls,
+                                       bool idealized = false);
+
+/// Paper Eq. 2 closed forms for the bottom placement with XY routing,
+/// request traffic, idealized cores. `i` is the 1-based row (from the top),
+/// `j` the 1-based column (from the left), N the mesh edge size.
+int Eq2CoefficientSouth(int n, int i);
+int Eq2CoefficientNorth(int n, int i);
+int Eq2CoefficientEast(int n, int j);
+int Eq2CoefficientWest(int n, int j);
+
+}  // namespace gnoc

@@ -1,0 +1,58 @@
+#include "analytic/traffic_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gnoc {
+
+TrafficModelResult EvaluateTrafficModel(const TrafficModelInput& input) {
+  assert(input.read_fraction >= 0.0 && input.read_fraction <= 1.0);
+  const double r = input.read_fraction;
+  const double w = 1.0 - r;
+  const double ls_rq = input.sizes.read_request;
+  const double ll_rq = input.sizes.write_request;
+  const double ll_rp = input.sizes.read_reply;
+  const double ls_rp = input.sizes.write_reply;
+
+  TrafficModelResult out;
+  out.request_flits = input.lambda * (r * ls_rq + w * ll_rq);
+  out.reply_flits = input.lambda * (r * ll_rp + w * ls_rp);
+  out.ratio = out.request_flits > 0.0 ? out.reply_flits / out.request_flits
+                                      : 0.0;
+
+  // Packet mix: every request is followed by exactly one reply, so per
+  // transaction there are 2 packets; read transactions have fraction r.
+  const double read_req = r / 2.0;
+  const double write_req = w / 2.0;
+  out.packet_fraction[static_cast<int>(PacketType::kReadRequest)] = read_req;
+  out.packet_fraction[static_cast<int>(PacketType::kWriteRequest)] = write_req;
+  out.packet_fraction[static_cast<int>(PacketType::kReadReply)] = read_req;
+  out.packet_fraction[static_cast<int>(PacketType::kWriteReply)] = write_req;
+
+  const double total_flits =
+      read_req * ls_rq + write_req * ll_rq + read_req * ll_rp + write_req * ls_rp;
+  if (total_flits > 0.0) {
+    out.flit_fraction[static_cast<int>(PacketType::kReadRequest)] =
+        read_req * ls_rq / total_flits;
+    out.flit_fraction[static_cast<int>(PacketType::kWriteRequest)] =
+        write_req * ll_rq / total_flits;
+    out.flit_fraction[static_cast<int>(PacketType::kReadReply)] =
+        read_req * ll_rp / total_flits;
+    out.flit_fraction[static_cast<int>(PacketType::kWriteReply)] =
+        write_req * ls_rp / total_flits;
+  }
+  return out;
+}
+
+double ReadFractionForRatio(double ratio, const PacketSizes& sizes) {
+  // R = (r*Ll_rp + (1-r)*Ls_rp) / (r*Ls_rq + (1-r)*Ll_rq)
+  // => r * (Ll_rp - Ls_rp + R*(Ll_rq - Ls_rq)) = R*Ll_rq - Ls_rp
+  const double a = static_cast<double>(sizes.read_reply - sizes.write_reply) +
+                   ratio * (sizes.write_request - sizes.read_request);
+  const double b =
+      ratio * static_cast<double>(sizes.write_request) - sizes.write_reply;
+  if (a == 0.0) return 1.0;
+  return std::clamp(b / a, 0.0, 1.0);
+}
+
+}  // namespace gnoc

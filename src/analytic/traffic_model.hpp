@@ -1,0 +1,47 @@
+// Analytical request/reply traffic-volume model (paper Eq. 1, Sec. 3.1.1).
+//
+// With per-node injection rate lambda, read fraction r, write fraction
+// w = 1 - r, short-packet length Ls (read request, write reply) and long-
+// packet length Ll (read reply, write request):
+//
+//   Trqs = lambda * (r * Ls + w * Ll)
+//   Trep = lambda * (r * Ll + w * Ls)
+//
+// and the reply:request flit ratio R = Trep / Trqs. The paper observes
+// R ~ 2 across its benchmark suite (Fig. 2) and ~63% of packets being read
+// replies (Fig. 3).
+#pragma once
+
+#include "noc/packet.hpp"
+
+namespace gnoc {
+
+/// Inputs of Eq. 1.
+struct TrafficModelInput {
+  double lambda = 1.0;      ///< overall injection rate per node
+  double read_fraction = 0.8;  ///< r; w = 1 - r
+  PacketSizes sizes;        ///< Ls/Ll per packet type
+};
+
+/// Outputs of Eq. 1 plus the packet-type distribution it implies.
+struct TrafficModelResult {
+  double request_flits = 0.0;   ///< Trqs
+  double reply_flits = 0.0;     ///< Trep
+  double ratio = 0.0;           ///< R = Trep / Trqs
+
+  /// Fraction of *packets* of each type (a request and its reply are one
+  /// packet each, so packet fractions are r/2, w/2, r/2, w/2).
+  double packet_fraction[kNumPacketTypes] = {0, 0, 0, 0};
+  /// Fraction of *flits* carried by each packet type.
+  double flit_fraction[kNumPacketTypes] = {0, 0, 0, 0};
+};
+
+/// Evaluates Eq. 1.
+TrafficModelResult EvaluateTrafficModel(const TrafficModelInput& input);
+
+/// Solves Eq. 1 for the read fraction r that yields a given reply:request
+/// flit ratio R (inverse model; useful for calibrating workload profiles).
+/// Requires Ls != Ll and a feasible R; returns r clamped to [0, 1].
+double ReadFractionForRatio(double ratio, const PacketSizes& sizes);
+
+}  // namespace gnoc

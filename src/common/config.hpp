@@ -1,0 +1,59 @@
+// A small typed key-value configuration store.
+//
+// Bench binaries and examples accept "key=value" command-line overrides; this
+// class parses and validates them. Keys are free-form strings; values are
+// stored as strings and converted on access with strict validation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gnoc {
+
+/// Ordered key-value configuration with typed accessors.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses a list of "key=value" tokens (e.g. argv tail). Tokens without
+  /// '=' are treated as boolean flags set to "true". Returns the number of
+  /// tokens consumed.
+  static Config FromArgs(int argc, const char* const* argv, int first = 1);
+
+  /// Parses newline/space separated "key=value" pairs. Lines starting with
+  /// '#' are comments. Throws std::invalid_argument on malformed input.
+  static Config FromString(const std::string& text);
+
+  void Set(const std::string& key, const std::string& value);
+  void SetInt(const std::string& key, std::int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  bool Contains(const std::string& key) const;
+
+  /// Typed getters: return `fallback` when the key is absent and throw
+  /// std::invalid_argument when present but malformed.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Merges `other` into this config; keys in `other` win.
+  void Merge(const Config& other);
+
+  /// Keys in insertion order.
+  const std::vector<std::string>& keys() const { return order_; }
+
+  /// Renders "key=value" lines in insertion order.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace gnoc

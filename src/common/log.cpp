@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace gnoc {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+void LogLine(LogLevel level, const std::string& message) {
+  std::cerr << '[' << LevelName(level) << "] " << message << '\n';
+}
+
+}  // namespace gnoc

@@ -1,0 +1,44 @@
+// Minimal leveled logging.
+//
+// The simulator is quiet by default; tests and debugging sessions can raise
+// the level. Logging goes through a single global sink so output from the
+// cycle loop stays ordered.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gnoc {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Sets the global log level. Messages above this level are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// True when a message at `level` would be emitted.
+bool LogEnabled(LogLevel level);
+
+/// Emits one line to stderr with a level prefix. Prefer the GNOC_LOG macro
+/// which avoids formatting cost when the level is disabled.
+void LogLine(LogLevel level, const std::string& message);
+
+}  // namespace gnoc
+
+/// Streams `expr` into the log when `level` is enabled, e.g.
+///   GNOC_LOG(kDebug, "router " << id << " stalled");
+#define GNOC_LOG(level, expr)                                \
+  do {                                                       \
+    if (::gnoc::LogEnabled(::gnoc::LogLevel::level)) {       \
+      std::ostringstream gnoc_log_oss;                       \
+      gnoc_log_oss << expr;                                  \
+      ::gnoc::LogLine(::gnoc::LogLevel::level,               \
+                      gnoc_log_oss.str());                   \
+    }                                                        \
+  } while (false)

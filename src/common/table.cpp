@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace gnoc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddRow(const std::string& label,
+                       const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) oss << " | ";
+      oss << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    oss << '\n';
+  };
+  emit_row(header_);
+  std::size_t rule_len = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c == 0 ? 0 : 3);
+  }
+  oss << std::string(rule_len, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string TextTable::RenderCsv() const {
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) oss << ',';
+      oss << row[c];
+    }
+    oss << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string SectionHeader(const std::string& title) {
+  std::ostringstream oss;
+  oss << "\n== " << title << " ==\n";
+  return oss.str();
+}
+
+}  // namespace gnoc

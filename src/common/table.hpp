@@ -1,0 +1,50 @@
+// Plain-text table rendering for benchmark harness output.
+//
+// Every bench binary prints the rows/series of one paper table or figure;
+// this class keeps that output aligned and uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gnoc {
+
+/// Column-aligned ASCII table with a header row.
+///
+/// Usage:
+///   TextTable t({"benchmark", "speedup"});
+///   t.AddRow({"BFS", "1.42"});
+///   std::cout << t.Render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimal digits.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Renders with column separators and a rule under the header.
+  std::string Render() const;
+
+  /// Renders as CSV (no alignment padding).
+  std::string RenderCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with fixed `precision` decimals.
+std::string FormatDouble(double value, int precision = 3);
+
+/// Renders a simple "## title" section header used by bench binaries.
+std::string SectionHeader(const std::string& title);
+
+}  // namespace gnoc

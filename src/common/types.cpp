@@ -1,0 +1,45 @@
+#include "common/types.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace gnoc {
+
+const char* PortName(Port p) {
+  switch (p) {
+    case Port::kLocal: return "local";
+    case Port::kNorth: return "north";
+    case Port::kEast: return "east";
+    case Port::kSouth: return "south";
+    case Port::kWest: return "west";
+  }
+  return "?";
+}
+
+const char* ClassName(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kRequest: return "request";
+    case TrafficClass::kReply: return "reply";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Coord c) {
+  return os << '(' << c.x << ',' << c.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, Port p) {
+  return os << PortName(p);
+}
+
+std::ostream& operator<<(std::ostream& os, TrafficClass c) {
+  return os << ClassName(c);
+}
+
+std::string ToString(Coord c) {
+  std::ostringstream oss;
+  oss << c;
+  return oss.str();
+}
+
+}  // namespace gnoc

@@ -1,0 +1,118 @@
+// Fundamental scalar types and small value types shared across the library.
+//
+// The simulator is cycle driven: every component exposes a `tick(Cycle now)`
+// style interface and all timestamps are expressed in `Cycle`.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace gnoc {
+
+/// Simulation time in router clock cycles.
+using Cycle = std::uint64_t;
+
+/// Flat node identifier inside a mesh (row-major: id = y * width + x).
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Identifier of a virtual channel within an input or output port.
+using VcId = std::int32_t;
+
+/// Sentinel for "no VC assigned".
+inline constexpr VcId kInvalidVc = -1;
+
+/// Unique (per simulation) packet identifier.
+using PacketId = std::uint64_t;
+
+/// The five router ports of a 2D-mesh VC router.
+///
+/// `kLocal` is the injection/ejection port that connects the router to its
+/// attached tile (an SM or a memory controller).
+enum class Port : std::uint8_t {
+  kLocal = 0,
+  kNorth = 1,
+  kEast = 2,
+  kSouth = 3,
+  kWest = 4,
+};
+
+/// Number of ports of a mesh router.
+inline constexpr int kNumPorts = 5;
+
+/// Converts a port to its array index.
+constexpr int PortIndex(Port p) { return static_cast<int>(p); }
+
+/// Returns the port on the neighbouring router that faces `p`.
+/// E.g. flits leaving through kEast arrive at the neighbour's kWest port.
+constexpr Port OppositePort(Port p) {
+  switch (p) {
+    case Port::kNorth: return Port::kSouth;
+    case Port::kSouth: return Port::kNorth;
+    case Port::kEast: return Port::kWest;
+    case Port::kWest: return Port::kEast;
+    case Port::kLocal: return Port::kLocal;
+  }
+  return Port::kLocal;
+}
+
+/// True for the two ports that carry vertical (Y-dimension) traffic.
+constexpr bool IsVerticalPort(Port p) {
+  return p == Port::kNorth || p == Port::kSouth;
+}
+
+/// True for the two ports that carry horizontal (X-dimension) traffic.
+constexpr bool IsHorizontalPort(Port p) {
+  return p == Port::kEast || p == Port::kWest;
+}
+
+/// Human readable port name ("local", "north", ...).
+const char* PortName(Port p);
+
+/// Protocol class of a packet. GPGPU NoC traffic is two-phase:
+/// cores send *requests* to memory controllers which answer with *replies*.
+/// Keeping the classes on disjoint virtual networks (or proving their paths
+/// disjoint, cf. VC monopolizing) is what guarantees protocol-deadlock
+/// freedom.
+enum class TrafficClass : std::uint8_t {
+  kRequest = 0,
+  kReply = 1,
+};
+
+/// Number of traffic classes.
+inline constexpr int kNumClasses = 2;
+
+/// Converts a traffic class to its array index.
+constexpr int ClassIndex(TrafficClass c) { return static_cast<int>(c); }
+
+/// Human readable class name ("request"/"reply").
+const char* ClassName(TrafficClass c);
+
+/// Integer coordinate of a tile in the mesh. x grows eastwards, y grows
+/// southwards (row 0 is the top row, matching Fig. 4/5 of the paper).
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+/// Manhattan distance between two coordinates.
+constexpr int ManhattanDistance(Coord a, Coord b) {
+  const int dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const int dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+std::ostream& operator<<(std::ostream& os, Coord c);
+std::ostream& operator<<(std::ostream& os, Port p);
+std::ostream& operator<<(std::ostream& os, TrafficClass c);
+
+/// Formats a coordinate as "(x,y)".
+std::string ToString(Coord c);
+
+}  // namespace gnoc

@@ -1,0 +1,54 @@
+// Bounded FIFO buffer backing one virtual channel.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+#include "noc/flit.hpp"
+
+namespace gnoc {
+
+/// A fixed-capacity flit FIFO. One instance backs one input VC; the credit
+/// protocol guarantees Push is never called on a full buffer (asserted).
+class VcBuffer {
+ public:
+  explicit VcBuffer(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return fifo_.size(); }
+  bool empty() const { return fifo_.empty(); }
+  bool full() const { return fifo_.size() >= capacity_; }
+  std::size_t free_slots() const { return capacity_ - fifo_.size(); }
+
+  /// Appends a flit. The caller must have a credit (i.e. `!full()`).
+  void Push(const Flit& flit) {
+    assert(!full());
+    fifo_.push_back(flit);
+  }
+
+  /// The flit at the head of the FIFO. Undefined when empty.
+  const Flit& Front() const {
+    assert(!empty());
+    return fifo_.front();
+  }
+
+  /// Removes and returns the head flit.
+  Flit Pop() {
+    assert(!empty());
+    Flit f = fifo_.front();
+    fifo_.pop_front();
+    return f;
+  }
+
+  /// Drops all contents (used only by tests / reset).
+  void Clear() { fifo_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Flit> fifo_;
+};
+
+}  // namespace gnoc

@@ -1,0 +1,64 @@
+// Fixed-latency pipes connecting routers (and NICs to routers).
+//
+// All inter-router communication — flits downstream, credits upstream — goes
+// through a DelayLine with latency >= 1 cycle. This decouples routers: the
+// order in which routers tick within a cycle cannot change behaviour, so the
+// network needs no global combinational scheduling.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace gnoc {
+
+/// A FIFO pipe where each item becomes visible `latency` cycles after being
+/// pushed. Unbounded: admission control is done by credits, not by the wire.
+template <typename T>
+class DelayLine {
+ public:
+  explicit DelayLine(Cycle latency = 1) : latency_(latency) {
+    assert(latency >= 1);
+  }
+
+  Cycle latency() const { return latency_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Enqueues `item` at time `now`; it is deliverable at `now + latency`.
+  void Push(T item, Cycle now) {
+    items_.emplace_back(now + latency_, std::move(item));
+  }
+
+  /// True when the front item has arrived by `now`.
+  bool Deliverable(Cycle now) const {
+    return !items_.empty() && items_.front().first <= now;
+  }
+
+  /// Pops the front item if it has arrived by `now`.
+  std::optional<T> Pop(Cycle now) {
+    if (!Deliverable(now)) return std::nullopt;
+    T item = std::move(items_.front().second);
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  Cycle latency_;
+  std::deque<std::pair<Cycle, T>> items_;
+};
+
+/// A credit returned upstream: the downstream router freed one slot of input
+/// VC `vc` on the link this channel models.
+struct Credit {
+  VcId vc = kInvalidVc;
+};
+
+using FlitChannel = DelayLine<Flit>;
+using CreditChannel = DelayLine<Credit>;
+
+}  // namespace gnoc

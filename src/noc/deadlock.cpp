@@ -1,0 +1,139 @@
+#include "noc/deadlock.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnoc {
+
+LinkUsage::LinkUsage(int width, int height)
+    : width_(width),
+      height_(height),
+      usage_(static_cast<std::size_t>(width * height * kNumPorts), 0) {}
+
+std::size_t LinkUsage::Index(NodeId node, Port port) const {
+  assert(node >= 0 && node < width_ * height_);
+  return static_cast<std::size_t>(node) * kNumPorts +
+         static_cast<std::size_t>(PortIndex(port));
+}
+
+void LinkUsage::Mark(NodeId node, Port port, TrafficClass cls) {
+  usage_[Index(node, port)] |=
+      static_cast<std::uint8_t>(1u << ClassIndex(cls));
+}
+
+bool LinkUsage::Uses(NodeId node, Port port, TrafficClass cls) const {
+  return (usage_[Index(node, port)] &
+          static_cast<std::uint8_t>(1u << ClassIndex(cls))) != 0;
+}
+
+bool LinkUsage::Mixed(NodeId node, Port port) const {
+  return usage_[Index(node, port)] == 0b11;
+}
+
+int LinkUsage::NumMixedLinks() const {
+  int mixed = 0;
+  for (std::uint8_t u : usage_) {
+    if (u == 0b11) ++mixed;
+  }
+  return mixed;
+}
+
+bool LinkUsage::MixedLinksAllHorizontal() const {
+  for (NodeId n = 0; n < width_ * height_; ++n) {
+    for (int p = 0; p < kNumPorts; ++p) {
+      const Port port = static_cast<Port>(p);
+      if (Mixed(n, port) && !IsHorizontalPort(port)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Marks every link of the DOR route src->dst (including the injection link
+/// at src and the ejection link at dst) as used by `cls`.
+void MarkRoute(LinkUsage& usage, const TilePlan& plan, RoutingAlgorithm routing,
+               TrafficClass cls, Coord src, Coord dst) {
+  usage.Mark(plan.NodeAt(src), Port::kLocal, cls);  // injection link
+  Coord here = src;
+  while (here != dst) {
+    const Port out = ComputeOutputPort(routing, cls, here, dst);
+    usage.Mark(plan.NodeAt(here), out, cls);
+    switch (out) {
+      case Port::kEast: ++here.x; break;
+      case Port::kWest: --here.x; break;
+      case Port::kSouth: ++here.y; break;
+      case Port::kNorth: --here.y; break;
+      case Port::kLocal: assert(false); break;
+    }
+  }
+  // Ejection is modelled by per-class NIC buffers, not by shared VCs, so it
+  // is not a protocol-deadlock resource and is not marked.
+}
+
+}  // namespace
+
+LinkUsage AnalyzeLinkUsage(const TilePlan& plan, RoutingAlgorithm routing) {
+  LinkUsage usage(plan.width(), plan.height());
+  for (NodeId core : plan.core_nodes()) {
+    for (NodeId mc : plan.mc_nodes()) {
+      MarkRoute(usage, plan, routing, TrafficClass::kRequest,
+                plan.CoordOf(core), plan.CoordOf(mc));
+      MarkRoute(usage, plan, routing, TrafficClass::kReply, plan.CoordOf(mc),
+                plan.CoordOf(core));
+    }
+  }
+  return usage;
+}
+
+VcPolicyKind SafetyReport::BestSafePolicy() const {
+  if (full_monopolize_safe) return VcPolicyKind::kFullMonopolize;
+  if (partial_monopolize_safe) return VcPolicyKind::kPartialMonopolize;
+  return VcPolicyKind::kAsymmetric;
+}
+
+std::string SafetyReport::ToString() const {
+  std::ostringstream oss;
+  oss << McPlacementName(placement) << " + " << RoutingName(routing) << ": "
+      << mixed_links << " mixed links";
+  if (mixed_links > 0) {
+    oss << (mixed_all_horizontal ? " (all horizontal)" : " (incl. vertical)");
+  }
+  oss << "; full-mono " << (full_monopolize_safe ? "SAFE" : "unsafe")
+      << ", partial-mono " << (partial_monopolize_safe ? "SAFE" : "unsafe");
+  return oss.str();
+}
+
+SafetyReport AnalyzeSafety(const TilePlan& plan, RoutingAlgorithm routing) {
+  const LinkUsage usage = AnalyzeLinkUsage(plan, routing);
+  SafetyReport report;
+  report.routing = routing;
+  report.placement = plan.placement();
+  report.mixed_links = usage.NumMixedLinks();
+  report.mixed_all_horizontal = usage.MixedLinksAllHorizontal();
+  report.full_monopolize_safe = report.mixed_links == 0;
+  // Link-aware partial monopolizing splits exactly the mixed links, so it
+  // is safe for every (placement, routing) pair by construction.
+  report.partial_monopolize_safe = true;
+  return report;
+}
+
+void ValidatePolicyOrThrow(const TilePlan& plan, RoutingAlgorithm routing,
+                           VcPolicyKind policy, bool allow_unsafe) {
+  if (policy != VcPolicyKind::kFullMonopolize) {
+    // Split and asymmetric partition VCs disjointly everywhere; link-aware
+    // partial monopolizing splits exactly the mixed links. All three are
+    // protocol-deadlock free by construction.
+    return;
+  }
+  const SafetyReport report = AnalyzeSafety(plan, routing);
+  const bool safe = report.full_monopolize_safe;
+  if (!safe && !allow_unsafe) {
+    throw std::invalid_argument(
+        std::string("VC policy '") + VcPolicyName(policy) +
+        "' is not protocol-deadlock safe for " + report.ToString());
+  }
+}
+
+}  // namespace gnoc

@@ -1,0 +1,94 @@
+// Static protocol-deadlock safety analysis (paper Sec. 3.2.1, Figs. 4 & 6).
+//
+// The paper's key observation: with the bottom MC placement and XY (or YX)
+// routing, request traffic (cores -> MCs) and reply traffic (MCs -> cores)
+// never traverse the same *directed* link, so the two virtual networks can
+// be merged and every VC monopolized by whichever class uses the link —
+// without protocol deadlock. Under XY-YX routing the classes mix on
+// horizontal links only, permitting partial monopolizing.
+//
+// This module makes that argument executable: it walks every core->MC route
+// (requests) and MC->core route (replies) under a given placement and routing
+// algorithm, records which classes use each directed link, and derives which
+// VC policies are provably safe.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/placement.hpp"
+#include "noc/routing.hpp"
+#include "noc/vc_policy.hpp"
+
+namespace gnoc {
+
+/// Per-directed-link class usage. Links are identified by the upstream node
+/// and its output port.
+class LinkUsage {
+ public:
+  LinkUsage(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Marks that `cls` traffic uses the link leaving `node` through `port`.
+  void Mark(NodeId node, Port port, TrafficClass cls);
+
+  /// True when `cls` uses the link.
+  bool Uses(NodeId node, Port port, TrafficClass cls) const;
+
+  /// True when both classes use the link.
+  bool Mixed(NodeId node, Port port) const;
+
+  /// Number of directed inter-router links used by both classes.
+  int NumMixedLinks() const;
+
+  /// True when every mixed link is horizontal (the XY-YX situation).
+  bool MixedLinksAllHorizontal() const;
+
+ private:
+  std::size_t Index(NodeId node, Port port) const;
+
+  int width_;
+  int height_;
+  /// usage_[node * kNumPorts + port] bit c set => class c uses the link.
+  std::vector<std::uint8_t> usage_;
+};
+
+/// Walks all request and reply routes of a tile plan and collects per-link
+/// class usage. Injection/ejection (local) links are included: an injection
+/// link carries the classes its endpoint sends (cores: requests, MCs:
+/// replies).
+LinkUsage AnalyzeLinkUsage(const TilePlan& plan, RoutingAlgorithm routing);
+
+/// Result of the safety derivation for one (placement, routing) pair.
+struct SafetyReport {
+  RoutingAlgorithm routing = RoutingAlgorithm::kXY;
+  McPlacement placement = McPlacement::kBottom;
+  int mixed_links = 0;
+  bool mixed_all_horizontal = false;
+  /// Safe policies, strongest first.
+  bool full_monopolize_safe = false;
+  bool partial_monopolize_safe = false;
+  // Split and asymmetric partitioning are always safe (disjoint VC sets on
+  // every link), so they are not repeated here.
+
+  /// The strongest provably safe policy: full > partial > asymmetric.
+  VcPolicyKind BestSafePolicy() const;
+
+  std::string ToString() const;
+};
+
+/// Derives which VC policies are protocol-deadlock safe for the pair.
+SafetyReport AnalyzeSafety(const TilePlan& plan, RoutingAlgorithm routing);
+
+/// Convenience guard: throws std::invalid_argument when `policy` is not
+/// provably safe for (plan, routing) and `allow_unsafe` is false. Used by
+/// the GPU system builder so misconfigurations fail fast instead of
+/// deadlocking mid-simulation.
+void ValidatePolicyOrThrow(const TilePlan& plan, RoutingAlgorithm routing,
+                           VcPolicyKind policy, bool allow_unsafe);
+
+}  // namespace gnoc

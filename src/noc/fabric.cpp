@@ -1,0 +1,126 @@
+#include "noc/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gnoc {
+
+// ---------------------------------------------------------------------------
+// SingleNetworkFabric
+// ---------------------------------------------------------------------------
+
+SingleNetworkFabric::SingleNetworkFabric(const NetworkConfig& config)
+    : network_(config) {}
+
+bool SingleNetworkFabric::Inject(Packet packet) {
+  return network_.Inject(packet);
+}
+
+bool SingleNetworkFabric::CanInject(NodeId node, TrafficClass cls) const {
+  return network_.CanInject(node, cls);
+}
+
+void SingleNetworkFabric::SetSink(NodeId node, PacketSink* sink) {
+  network_.SetSink(node, sink);
+}
+
+void SingleNetworkFabric::Tick() { network_.Tick(); }
+Cycle SingleNetworkFabric::now() const { return network_.now(); }
+bool SingleNetworkFabric::Deadlocked() const { return network_.Deadlocked(); }
+std::size_t SingleNetworkFabric::FlitsInFlight() const {
+  return network_.FlitsInFlight();
+}
+NetworkSummary SingleNetworkFabric::Summarize() const {
+  return network_.Summarize();
+}
+void SingleNetworkFabric::ResetStats() { network_.ResetStats(); }
+
+std::array<std::uint64_t, kNumPacketTypes> SingleNetworkFabric::PacketsByType()
+    const {
+  std::array<std::uint64_t, kNumPacketTypes> out{};
+  for (NodeId n = 0; n < network_.num_nodes(); ++n) {
+    const NicStats& ns = network_.nic(n).stats();
+    for (int t = 0; t < kNumPacketTypes; ++t) {
+      out[static_cast<std::size_t>(t)] +=
+          ns.packets_by_type[static_cast<std::size_t>(t)];
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DualNetworkFabric
+// ---------------------------------------------------------------------------
+
+DualNetworkFabric::DualNetworkFabric(const NetworkConfig& config) {
+  NetworkConfig per_net = config;
+  per_net.num_vcs = std::max(1, config.num_vcs / 2);
+  // Each physical network carries a single class; within it every VC is
+  // usable by that class, which is what a dedicated network means.
+  per_net.vc_policy = VcPolicyKind::kFullMonopolize;
+  for (auto& net : nets_) net = std::make_unique<Network>(per_net);
+}
+
+bool DualNetworkFabric::Inject(Packet packet) {
+  return net(packet.cls()).Inject(packet);
+}
+
+bool DualNetworkFabric::CanInject(NodeId node, TrafficClass cls) const {
+  return net(cls).CanInject(node, cls);
+}
+
+void DualNetworkFabric::SetSink(NodeId node, PacketSink* sink) {
+  for (auto& net : nets_) net->SetSink(node, sink);
+}
+
+void DualNetworkFabric::Tick() {
+  for (auto& net : nets_) net->Tick();
+}
+
+Cycle DualNetworkFabric::now() const { return nets_[0]->now(); }
+
+bool DualNetworkFabric::Deadlocked() const {
+  return nets_[0]->Deadlocked() || nets_[1]->Deadlocked();
+}
+
+std::size_t DualNetworkFabric::FlitsInFlight() const {
+  return nets_[0]->FlitsInFlight() + nets_[1]->FlitsInFlight();
+}
+
+NetworkSummary DualNetworkFabric::Summarize() const {
+  NetworkSummary out = nets_[0]->Summarize();
+  const NetworkSummary reply = nets_[1]->Summarize();
+  for (int c = 0; c < kNumClasses; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    out.packets_injected[ci] += reply.packets_injected[ci];
+    out.packets_ejected[ci] += reply.packets_ejected[ci];
+    out.flits_injected[ci] += reply.flits_injected[ci];
+    out.flits_ejected[ci] += reply.flits_ejected[ci];
+    out.packet_latency[ci].Merge(reply.packet_latency[ci]);
+    out.network_latency[ci].Merge(reply.network_latency[ci]);
+    out.latency_histogram[ci].Merge(reply.latency_histogram[ci]);
+  }
+  out.flits_forwarded += reply.flits_forwarded;
+  return out;
+}
+
+void DualNetworkFabric::ResetStats() {
+  for (auto& net : nets_) net->ResetStats();
+}
+
+std::array<std::uint64_t, kNumPacketTypes> DualNetworkFabric::PacketsByType()
+    const {
+  std::array<std::uint64_t, kNumPacketTypes> out{};
+  for (const auto& net : nets_) {
+    for (NodeId n = 0; n < net->num_nodes(); ++n) {
+      const NicStats& ns = net->nic(n).stats();
+      for (int t = 0; t < kNumPacketTypes; ++t) {
+        out[static_cast<std::size_t>(t)] +=
+            ns.packets_by_type[static_cast<std::size_t>(t)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gnoc

@@ -1,0 +1,126 @@
+#include "noc/ideal.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gnoc {
+
+IdealFabric::IdealFabric(const IdealFabricConfig& config)
+    : config_(config),
+      sinks_(static_cast<std::size_t>(config.width * config.height), nullptr) {
+  assert(config.width >= 1 && config.height >= 1);
+}
+
+Cycle IdealFabric::DeliveryLatency(NodeId src, NodeId dst) const {
+  const Coord a{src % config_.width, src / config_.width};
+  const Coord b{dst % config_.width, dst / config_.width};
+  return config_.base_latency +
+         config_.cycles_per_hop *
+             static_cast<Cycle>(ManhattanDistance(a, b));
+}
+
+bool IdealFabric::Inject(Packet packet) {
+  assert(packet.src >= 0 &&
+         packet.src < config_.width * config_.height);
+  assert(packet.dst >= 0 &&
+         packet.dst < config_.width * config_.height);
+  if (packet.created == 0) packet.created = now_;
+  packet.injected = now_;
+  const auto ci = static_cast<std::size_t>(ClassIndex(packet.cls()));
+  ++summary_.packets_injected[ci];
+  summary_.flits_injected[ci] += static_cast<std::uint64_t>(packet.num_flits);
+  ++packets_by_type_[static_cast<std::size_t>(packet.type)];
+
+  Arrival arrival;
+  arrival.due = now_ + DeliveryLatency(packet.src, packet.dst);
+  arrival.seq = next_seq_++;
+  arrival.packet = packet;
+  in_flight_.push(arrival);
+  return true;
+}
+
+bool IdealFabric::CanInject(NodeId, TrafficClass) const {
+  return true;  // infinite bandwidth
+}
+
+void IdealFabric::SetSink(NodeId node, PacketSink* sink) {
+  sinks_.at(static_cast<std::size_t>(node)) = sink;
+}
+
+void IdealFabric::Tick() {
+  // Retry stalled deliveries first (FIFO per destination).
+  for (auto it = stalled_.begin(); it != stalled_.end();) {
+    auto& queue = it->second;
+    PacketSink* sink = sinks_[static_cast<std::size_t>(it->first)];
+    while (!queue.empty() && sink != nullptr) {
+      Packet packet = queue.front();
+      packet.ejected = now_;
+      if (!sink->Accept(packet, now_)) break;
+      const auto ci = static_cast<std::size_t>(ClassIndex(packet.cls()));
+      ++summary_.packets_ejected[ci];
+      summary_.flits_ejected[ci] +=
+          static_cast<std::uint64_t>(packet.num_flits);
+      summary_.packet_latency[ci].Add(
+          static_cast<double>(now_ - packet.created));
+      summary_.network_latency[ci].Add(
+          static_cast<double>(now_ - packet.injected));
+      summary_.latency_histogram[ci].Add(
+          static_cast<double>(now_ - packet.created));
+      queue.pop_front();
+    }
+    it = queue.empty() ? stalled_.erase(it) : std::next(it);
+  }
+
+  // Deliver newly due packets (or append them behind stalled ones so per-
+  // destination order is preserved).
+  while (!in_flight_.empty() && in_flight_.top().due <= now_) {
+    Packet packet = in_flight_.top().packet;
+    in_flight_.pop();
+    stalled_[packet.dst].push_back(packet);
+  }
+  // One more retry pass for the packets that just became due.
+  for (auto it = stalled_.begin(); it != stalled_.end();) {
+    auto& queue = it->second;
+    PacketSink* sink = sinks_[static_cast<std::size_t>(it->first)];
+    while (!queue.empty() && sink != nullptr) {
+      Packet packet = queue.front();
+      packet.ejected = now_;
+      if (!sink->Accept(packet, now_)) break;
+      const auto ci = static_cast<std::size_t>(ClassIndex(packet.cls()));
+      ++summary_.packets_ejected[ci];
+      summary_.flits_ejected[ci] +=
+          static_cast<std::uint64_t>(packet.num_flits);
+      summary_.packet_latency[ci].Add(
+          static_cast<double>(now_ - packet.created));
+      summary_.network_latency[ci].Add(
+          static_cast<double>(now_ - packet.injected));
+      summary_.latency_histogram[ci].Add(
+          static_cast<double>(now_ - packet.created));
+      queue.pop_front();
+    }
+    it = queue.empty() ? stalled_.erase(it) : std::next(it);
+  }
+  ++now_;
+  summary_.cycles = now_;
+}
+
+std::size_t IdealFabric::FlitsInFlight() const {
+  std::size_t total = in_flight_.size();
+  for (const auto& [node, queue] : stalled_) total += queue.size();
+  return total;
+}
+
+void IdealFabric::ResetStats() {
+  summary_ = NetworkSummary{};
+  summary_.cycles = now_;
+  packets_by_type_.fill(0);
+}
+
+Network& IdealFabric::net(TrafficClass) {
+  throw std::logic_error("IdealFabric has no physical network");
+}
+const Network& IdealFabric::net(TrafficClass) const {
+  throw std::logic_error("IdealFabric has no physical network");
+}
+
+}  // namespace gnoc

@@ -1,0 +1,79 @@
+// Ideal (contention-free) interconnect: packets arrive a fixed pipeline
+// delay plus their zero-load hop latency after injection, regardless of
+// load. An upper bound no real NoC can beat — useful to contextualize how
+// much of the ideal the paper's schemes recover, and as a latency lower
+// bound in differential tests.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/fabric.hpp"
+
+namespace gnoc {
+
+struct IdealFabricConfig {
+  int width = 8;
+  int height = 8;
+  /// Cycles per hop (router pipeline + link) of the modelled ideal network.
+  Cycle cycles_per_hop = 2;
+  /// Fixed overhead (injection + ejection + serialization headroom).
+  Cycle base_latency = 4;
+};
+
+/// A Fabric with infinite bandwidth and zero contention. Deterministic:
+/// delivery time depends only on distance. Sinks that refuse delivery are
+/// retried each cycle (packets queue per destination in arrival order).
+class IdealFabric final : public Fabric {
+ public:
+  explicit IdealFabric(const IdealFabricConfig& config);
+
+  bool Inject(Packet packet) override;
+  bool CanInject(NodeId node, TrafficClass cls) const override;
+  void SetSink(NodeId node, PacketSink* sink) override;
+  void Tick() override;
+  Cycle now() const override { return now_; }
+  bool Deadlocked() const override { return false; }
+  std::size_t FlitsInFlight() const override;
+  NetworkSummary Summarize() const override { return summary_; }
+  void ResetStats() override;
+  std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override {
+    return packets_by_type_;
+  }
+
+  /// The ideal fabric has no physical networks; these accessors are
+  /// unsupported and throw std::logic_error.
+  int num_networks() const override { return 0; }
+  Network& net(TrafficClass cls) override;
+  const Network& net(TrafficClass cls) const override;
+
+  /// Zero-load delivery latency between two nodes.
+  Cycle DeliveryLatency(NodeId src, NodeId dst) const;
+
+ private:
+  struct Arrival {
+    Cycle due = 0;
+    std::uint64_t seq = 0;  ///< tie-break: injection order
+    Packet packet;
+
+    bool operator>(const Arrival& other) const {
+      return due != other.due ? due > other.due : seq > other.seq;
+    }
+  };
+
+  IdealFabricConfig config_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
+      in_flight_;
+  /// Packets whose sink refused delivery, retried in order per destination.
+  std::map<NodeId, std::deque<Packet>> stalled_;
+  std::vector<PacketSink*> sinks_;
+  NetworkSummary summary_;
+  std::array<std::uint64_t, kNumPacketTypes> packets_by_type_{};
+};
+
+}  // namespace gnoc

@@ -1,0 +1,252 @@
+#include "noc/network.hpp"
+
+#include <cassert>
+
+#include "noc/deadlock.hpp"
+
+namespace gnoc {
+
+namespace {
+
+/// The four inter-router directions (local links are handled separately).
+constexpr Port kMeshPorts[] = {Port::kNorth, Port::kEast, Port::kSouth,
+                               Port::kWest};
+
+Coord NeighbourOf(Coord c, Port p) {
+  switch (p) {
+    case Port::kNorth: return {c.x, c.y - 1};
+    case Port::kSouth: return {c.x, c.y + 1};
+    case Port::kEast: return {c.x + 1, c.y};
+    case Port::kWest: return {c.x - 1, c.y};
+    case Port::kLocal: break;
+  }
+  return c;
+}
+
+}  // namespace
+
+Network::Network(const NetworkConfig& config) : config_(config) {
+  assert(config.width >= 2 && config.height >= 2);
+
+  RouterConfig rc;
+  rc.num_vcs = config.num_vcs;
+  rc.vc_depth = config.vc_depth;
+  rc.routing = config.routing;
+  rc.vc_policy = config.vc_policy;
+  rc.atomic_vc_realloc = config.atomic_vc_realloc;
+  rc.dynamic_epoch = config.dynamic_epoch;
+  rc.arbiter = config.arbiter;
+
+  NicConfig nc;
+  nc.num_vcs = config.num_vcs;
+  nc.vc_depth = config.vc_depth;
+  nc.vc_policy = config.vc_policy;
+  nc.inject_queue_capacity = config.inject_queue_capacity;
+  nc.eject_capacity = config.eject_capacity;
+  nc.max_deliveries_per_cycle = config.max_deliveries_per_cycle;
+  nc.atomic_vc_realloc = config.atomic_vc_realloc;
+  nc.dynamic_epoch = config.dynamic_epoch;
+
+  const int n = num_nodes();
+  routers_.reserve(static_cast<std::size_t>(n));
+  nics_.reserve(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    const Coord c = CoordOf(id);
+    routers_.push_back(std::make_unique<Router>(id, c, rc));
+    nics_.push_back(std::make_unique<Nic>(id, c, nc));
+    routers_.back()->SetNic(nics_.back().get());
+  }
+
+  // Inter-router links: one flit channel and one credit channel per directed
+  // link.
+  for (NodeId id = 0; id < n; ++id) {
+    const Coord c = CoordOf(id);
+    for (Port p : kMeshPorts) {
+      const Coord nb = NeighbourOf(c, p);
+      if (nb.x < 0 || nb.x >= config_.width || nb.y < 0 ||
+          nb.y >= config_.height) {
+        continue;  // mesh boundary
+      }
+      const NodeId nb_id = NodeAt(nb);
+      Router& src = *routers_[static_cast<std::size_t>(id)];
+      Router& dst = *routers_[static_cast<std::size_t>(nb_id)];
+
+      auto flit_link = std::make_unique<FlitLink>();
+      flit_link->channel = FlitChannel(config_.link_latency);
+      flit_link->dst_router = &dst;
+      flit_link->dst_port = OppositePort(p);
+      src.SetOutputChannel(p, &flit_link->channel);
+      flit_links_.push_back(std::move(flit_link));
+
+      auto credit_link = std::make_unique<CreditLink>();
+      credit_link->channel = CreditChannel(config_.link_latency);
+      credit_link->dst_router = &src;
+      credit_link->dst_port = p;
+      dst.SetCreditReturnChannel(OppositePort(p), &credit_link->channel);
+      credit_links_.push_back(std::move(credit_link));
+    }
+
+    // Injection link: NIC -> router local port, credits back to the NIC.
+    Router& router = *routers_[static_cast<std::size_t>(id)];
+    Nic& nic = *nics_[static_cast<std::size_t>(id)];
+
+    auto inj = std::make_unique<FlitLink>();
+    inj->channel = FlitChannel(config_.link_latency);
+    inj->dst_router = &router;
+    inj->dst_port = Port::kLocal;
+    nic.SetInjectionChannel(&inj->channel);
+    flit_links_.push_back(std::move(inj));
+
+    auto inj_credit = std::make_unique<CreditLink>();
+    inj_credit->channel = CreditChannel(config_.link_latency);
+    inj_credit->dst_nic = &nic;
+    router.SetCreditReturnChannel(Port::kLocal, &inj_credit->channel);
+    nic.SetCreditChannel(&inj_credit->channel);
+    credit_links_.push_back(std::move(inj_credit));
+  }
+}
+
+NodeId Network::NodeAt(Coord c) const {
+  assert(c.x >= 0 && c.x < config_.width && c.y >= 0 && c.y < config_.height);
+  return c.y * config_.width + c.x;
+}
+
+Coord Network::CoordOf(NodeId n) const {
+  assert(n >= 0 && n < num_nodes());
+  return Coord{n % config_.width, n / config_.width};
+}
+
+Router& Network::router(NodeId n) {
+  return *routers_.at(static_cast<std::size_t>(n));
+}
+const Router& Network::router(NodeId n) const {
+  return *routers_.at(static_cast<std::size_t>(n));
+}
+Nic& Network::nic(NodeId n) { return *nics_.at(static_cast<std::size_t>(n)); }
+const Nic& Network::nic(NodeId n) const {
+  return *nics_.at(static_cast<std::size_t>(n));
+}
+
+void Network::SetSink(NodeId n, PacketSink* sink) { nic(n).SetSink(sink); }
+
+void Network::ConfigureLinkModes(const LinkUsage& usage) {
+  assert(usage.width() == config_.width && usage.height() == config_.height);
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    for (int p = 0; p < kNumPorts; ++p) {
+      const Port port = static_cast<Port>(p);
+      const LinkMode mode =
+          usage.Mixed(n, port) ? LinkMode::kMixed : LinkMode::kSingleClass;
+      if (port == Port::kLocal) {
+        nic(n).SetLinkMode(mode);
+      } else {
+        router(n).SetLinkMode(port, mode);
+      }
+    }
+  }
+}
+
+bool Network::Inject(Packet packet) {
+  assert(packet.src >= 0 && packet.src < num_nodes());
+  assert(packet.dst >= 0 && packet.dst < num_nodes());
+  if (packet.id == 0) packet.id = NextPacketId();
+  if (packet.created == 0) packet.created = now_;
+  return nic(packet.src).Inject(packet, CoordOf(packet.dst), now_);
+}
+
+bool Network::CanInject(NodeId n, TrafficClass cls) const {
+  return nic(n).CanInject(cls);
+}
+
+void Network::DeliverChannels() {
+  for (auto& link : flit_links_) {
+    while (auto flit = link->channel.Pop(now_)) {
+      link->dst_router->AcceptFlit(link->dst_port, *flit, now_);
+    }
+  }
+  for (auto& link : credit_links_) {
+    if (link->dst_router == nullptr) continue;  // NIC pops its own credits
+    while (auto credit = link->channel.Pop(now_)) {
+      link->dst_router->AcceptCredit(link->dst_port, credit->vc);
+    }
+  }
+}
+
+void Network::Tick() {
+  DeliverChannels();
+  for (auto& r : routers_) r->Tick(now_);
+  for (auto& nic : nics_) nic->Tick(now_);
+
+  // Deadlock watchdog: flits in flight but no movement for a long time.
+  const std::uint64_t progress = ProgressCounter();
+  if (progress != last_progress_counter_ || FlitsInFlight() == 0) {
+    last_progress_counter_ = progress;
+    last_progress_cycle_ = now_;
+  } else if (now_ - last_progress_cycle_ >= config_.deadlock_threshold) {
+    deadlocked_ = true;
+  }
+  ++now_;
+}
+
+bool Network::Drain(Cycle max_cycles) {
+  for (Cycle i = 0; i < max_cycles; ++i) {
+    if (FlitsInFlight() == 0) return true;
+    if (deadlocked_) return false;
+    Tick();
+  }
+  return FlitsInFlight() == 0;
+}
+
+std::uint64_t Network::ProgressCounter() const {
+  std::uint64_t total = 0;
+  for (const auto& r : routers_) total += r->stats().flits_forwarded;
+  for (const auto& n : nics_) {
+    total += n->stats().flits_injected[0] + n->stats().flits_injected[1];
+    total += n->stats().packets_ejected[0] + n->stats().packets_ejected[1];
+  }
+  return total;
+}
+
+std::size_t Network::FlitsInFlight() const {
+  std::size_t total = 0;
+  for (const auto& r : routers_) total += r->BufferedFlits();
+  for (const auto& link : flit_links_) total += link->channel.size();
+  for (const auto& n : nics_) {
+    if (!n->Idle()) ++total;  // counts as at least one pending unit
+  }
+  return total;
+}
+
+NetworkSummary Network::Summarize() const {
+  NetworkSummary s;
+  s.cycles = now_;
+  for (const auto& n : nics_) {
+    const NicStats& ns = n->stats();
+    for (int c = 0; c < kNumClasses; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      s.packets_injected[ci] += ns.packets_injected[ci];
+      s.packets_ejected[ci] += ns.packets_ejected[ci];
+      s.flits_injected[ci] += ns.flits_injected[ci];
+      s.flits_ejected[ci] += ns.flits_ejected[ci];
+      s.packet_latency[ci].Merge(ns.packet_latency[ci]);
+      s.network_latency[ci].Merge(ns.network_latency[ci]);
+      s.latency_histogram[ci].Merge(ns.latency_histogram[ci]);
+    }
+  }
+  for (const auto& r : routers_) s.flits_forwarded += r->stats().flits_forwarded;
+  return s;
+}
+
+std::uint64_t Network::LinkFlits(NodeId node, Port port,
+                                 TrafficClass cls) const {
+  return router(node).stats().flits_out[static_cast<std::size_t>(
+      PortIndex(port))][static_cast<std::size_t>(ClassIndex(cls))];
+}
+
+void Network::ResetStats() {
+  for (auto& r : routers_) r->ResetStats();
+  for (auto& n : nics_) n->ResetStats();
+  last_progress_counter_ = ProgressCounter();  // == 0 after resets
+  last_progress_cycle_ = now_;
+}
+
+}  // namespace gnoc

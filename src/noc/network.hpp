@@ -1,0 +1,163 @@
+// The assembled 2D-mesh network: routers, NICs and the delay-line channels
+// connecting them, plus aggregate statistics and a deadlock watchdog.
+//
+// The Network is placement-agnostic: it transports packets between any two
+// tiles. Which tiles host SMs vs MCs is decided by the layer above (see
+// noc/placement.hpp and sim/gpu_system.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/channel.hpp"
+#include "noc/nic.hpp"
+#include "noc/packet.hpp"
+#include "noc/router.hpp"
+
+namespace gnoc {
+
+class LinkUsage;
+
+/// Full network configuration.
+struct NetworkConfig {
+  int width = 8;
+  int height = 8;
+  int num_vcs = 2;
+  int vc_depth = 4;
+  RoutingAlgorithm routing = RoutingAlgorithm::kXY;
+  VcPolicyKind vc_policy = VcPolicyKind::kSplit;
+  Cycle link_latency = 1;
+  int inject_queue_capacity = 64;
+  int eject_capacity = 32;
+  int max_deliveries_per_cycle = 1;
+  /// Conservative (atomic) VC reallocation; see RouterConfig.
+  bool atomic_vc_realloc = true;
+  /// Epoch of the dynamic-partitioning feedback loop (kDynamic only).
+  Cycle dynamic_epoch = 512;
+  /// Arbiter microarchitecture for the VA/SA stages.
+  ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+  /// Cycles without any flit movement (while flits are buffered) after which
+  /// the watchdog declares deadlock.
+  Cycle deadlock_threshold = 2000;
+};
+
+/// Aggregated network-level counters (see also RouterStats / NicStats).
+struct NetworkSummary {
+  NetworkSummary()
+      : latency_histogram{Histogram(kLatencyBucketWidth, kLatencyBuckets),
+                          Histogram(kLatencyBucketWidth, kLatencyBuckets)} {}
+
+  std::array<std::uint64_t, kNumClasses> packets_injected{};
+  std::array<std::uint64_t, kNumClasses> packets_ejected{};
+  std::array<std::uint64_t, kNumClasses> flits_injected{};
+  std::array<std::uint64_t, kNumClasses> flits_ejected{};
+  std::array<RunningStats, kNumClasses> packet_latency;
+  std::array<RunningStats, kNumClasses> network_latency;
+  /// Merged per-class latency distributions (percentile queries).
+  std::array<Histogram, kNumClasses> latency_histogram;
+  std::uint64_t flits_forwarded = 0;
+  std::uint64_t cycles = 0;
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkConfig& config);
+
+  // Non-copyable: routers hold pointers into channel storage.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const NetworkConfig& config() const { return config_; }
+  int width() const { return config_.width; }
+  int height() const { return config_.height; }
+  int num_nodes() const { return config_.width * config_.height; }
+
+  NodeId NodeAt(Coord c) const;
+  Coord CoordOf(NodeId n) const;
+
+  Router& router(NodeId n);
+  const Router& router(NodeId n) const;
+  Nic& nic(NodeId n);
+  const Nic& nic(NodeId n) const;
+
+  /// Registers the endpoint receiving packets at node `n`.
+  void SetSink(NodeId n, PacketSink* sink);
+
+  /// Distributes the statically analyzed per-link class usage to every
+  /// router and NIC (enables link-aware partial monopolizing). Without this
+  /// call all links are treated as mixed, which is always safe.
+  void ConfigureLinkModes(const LinkUsage& usage);
+
+  /// Allocates a fresh unique packet id.
+  PacketId NextPacketId() { return next_packet_id_++; }
+
+  /// Convenience injection: fills in id (when 0) and created (when 0),
+  /// resolves the destination coordinate, and enqueues at the source NIC.
+  /// Returns false when the source injection queue is full.
+  bool Inject(Packet packet);
+
+  /// True when the source NIC of `cls` traffic at node `n` can take a packet.
+  bool CanInject(NodeId n, TrafficClass cls) const;
+
+  /// Advances the network by one cycle.
+  void Tick();
+
+  /// Runs until every buffer is empty or `max_cycles` more cycles elapse.
+  /// Returns true when fully drained.
+  bool Drain(Cycle max_cycles);
+
+  /// Current simulation time (cycles completed).
+  Cycle now() const { return now_; }
+
+  /// Total flits buffered in routers, NICs and channels.
+  std::size_t FlitsInFlight() const;
+
+  /// True when the watchdog has observed no forward progress for
+  /// `deadlock_threshold` cycles while flits were in flight.
+  bool Deadlocked() const { return deadlocked_; }
+
+  /// Aggregates NIC and router counters.
+  NetworkSummary Summarize() const;
+
+  /// Flits that crossed the link leaving `node` through `port`, by class.
+  /// (Measured counterpart of the paper's Fig. 4/6 coefficient maps.)
+  std::uint64_t LinkFlits(NodeId node, Port port, TrafficClass cls) const;
+
+  /// Resets all statistics counters (not the network state). Used to exclude
+  /// warm-up from measurement.
+  void ResetStats();
+
+ private:
+  struct FlitLink {
+    FlitChannel channel;
+    Router* dst_router = nullptr;
+    Port dst_port = Port::kLocal;
+  };
+  struct CreditLink {
+    CreditChannel channel;
+    Router* dst_router = nullptr;  // nullptr => credits go to a NIC
+    Nic* dst_nic = nullptr;
+    Port dst_port = Port::kLocal;  // output port at the receiving router
+  };
+
+  void DeliverChannels();
+  std::uint64_t ProgressCounter() const;
+
+  NetworkConfig config_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<FlitLink>> flit_links_;
+  std::vector<std::unique_ptr<CreditLink>> credit_links_;
+
+  Cycle now_ = 0;
+  PacketId next_packet_id_ = 1;
+
+  // Baselines subtracted by ResetStats().
+  std::uint64_t last_progress_counter_ = 0;
+  Cycle last_progress_cycle_ = 0;
+  bool deadlocked_ = false;
+};
+
+}  // namespace gnoc

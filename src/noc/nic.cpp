@@ -1,0 +1,258 @@
+#include "noc/nic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gnoc {
+
+Nic::Nic(NodeId node, Coord coord, const NicConfig& config)
+    : node_(node),
+      coord_(coord),
+      config_(config),
+      policy_(config.vc_policy, config.num_vcs),
+      sends_(static_cast<std::size_t>(config.num_vcs)),
+      credits_(static_cast<std::size_t>(config.num_vcs), config.vc_depth) {
+  boundary_ = static_cast<VcId>(std::max(1, config.num_vcs / 2));
+  next_boundary_update_ = config.dynamic_epoch;
+  assert(config.num_vcs >= 1);
+  assert(config.vc_depth >= 1);
+  assert(config.inject_queue_capacity >= 1);
+  assert(config.eject_capacity >= 1);
+}
+
+void Nic::SetInjectionChannel(FlitChannel* channel) {
+  inject_channel_ = channel;
+}
+
+void Nic::SetCreditChannel(CreditChannel* channel) {
+  credit_channel_ = channel;
+}
+
+void Nic::SetSink(PacketSink* sink) { sink_ = sink; }
+
+bool Nic::CanInject(TrafficClass cls) const {
+  return inject_queues_[static_cast<std::size_t>(ClassIndex(cls))].size() <
+         static_cast<std::size_t>(config_.inject_queue_capacity);
+}
+
+bool Nic::Inject(const Packet& packet, Coord dst_coord, Cycle now) {
+  (void)now;
+  const auto ci = static_cast<std::size_t>(ClassIndex(packet.cls()));
+  if (!CanInject(packet.cls())) return false;
+  assert(packet.src == node_ && "packet injected at the wrong NIC");
+  inject_queues_[ci].emplace_back(packet, dst_coord);
+  ++stats_.packets_injected[ci];
+  ++stats_.packets_by_type[static_cast<std::size_t>(packet.type)];
+  return true;
+}
+
+std::size_t Nic::InjectQueueDepth(TrafficClass cls) const {
+  return inject_queues_[static_cast<std::size_t>(ClassIndex(cls))].size();
+}
+
+bool Nic::CanAcceptEjection(TrafficClass cls) const {
+  return eject_held_[static_cast<std::size_t>(ClassIndex(cls))] <
+         config_.eject_capacity;
+}
+
+void Nic::AcceptEjectedFlit(const Flit& flit, Cycle now) {
+  (void)now;
+  const auto ci = static_cast<std::size_t>(ClassIndex(flit.cls));
+  assert(eject_held_[ci] < config_.eject_capacity &&
+         "router ejected into a full NIC buffer");
+  eject_buffers_[ci].push_back(flit);
+  ++eject_held_[ci];
+  ++stats_.flits_ejected[ci];
+}
+
+void Nic::Tick(Cycle now) {
+  if (config_.vc_policy == VcPolicyKind::kDynamic &&
+      now >= next_boundary_update_) {
+    UpdateDynamicBoundary(now);
+  }
+  ConsumeCredits(now);
+  StartPackets(now);
+  SendFlits(now);
+  DrainEjection(now);
+}
+
+VcRange Nic::InjectionRange(TrafficClass cls) const {
+  if (config_.vc_policy == VcPolicyKind::kDynamic) {
+    return PartitionAt(cls, boundary_, config_.num_vcs);
+  }
+  return policy_.AllowedVcs(cls, Port::kLocal, link_mode_);
+}
+
+void Nic::UpdateDynamicBoundary(Cycle now) {
+  const std::uint64_t req = epoch_flits_[ClassIndex(TrafficClass::kRequest)];
+  const std::uint64_t rep = epoch_flits_[ClassIndex(TrafficClass::kReply)];
+  epoch_flits_.fill(0);
+  next_boundary_update_ = now + config_.dynamic_epoch;
+  if (req + rep == 0) return;
+  const VcId target = BoundaryForShare(
+      static_cast<double>(req) / static_cast<double>(req + rep),
+      config_.num_vcs);
+  if (target > boundary_) {
+    ++boundary_;
+  } else if (target < boundary_) {
+    --boundary_;
+  }
+}
+
+void Nic::ConsumeCredits(Cycle now) {
+  if (credit_channel_ != nullptr) {
+    while (auto credit = credit_channel_->Pop(now)) {
+      const auto vc = static_cast<std::size_t>(credit->vc);
+      assert(vc < credits_.size());
+      ++credits_[vc];
+      assert(credits_[vc] <= config_.vc_depth && "injection credit overflow");
+    }
+  }
+  // Release draining VCs (atomic: only once the downstream buffer emptied).
+  for (std::size_t v = 0; v < sends_.size(); ++v) {
+    ActiveSend& send = sends_[v];
+    if (send.busy && send.draining &&
+        (!config_.atomic_vc_realloc ||
+         credits_[v] == config_.vc_depth)) {
+      send.busy = false;
+      send.draining = false;
+    }
+  }
+}
+
+void Nic::StartPackets(Cycle now) {
+  // Alternate which class gets first pick each cycle to avoid starvation.
+  for (int k = 0; k < kNumClasses; ++k) {
+    const int ci = (start_rr_ + k) % kNumClasses;
+    auto& queue = inject_queues_[static_cast<std::size_t>(ci)];
+    if (queue.empty()) continue;
+    const auto cls = static_cast<TrafficClass>(ci);
+    const VcRange range = InjectionRange(cls);
+    VcId free_vc = kInvalidVc;
+    for (VcId v = range.begin; v < range.end; ++v) {
+      if (!sends_[static_cast<std::size_t>(v)].busy) {
+        free_vc = v;
+        break;
+      }
+    }
+    if (free_vc == kInvalidVc) continue;
+    auto [packet, dst_coord] = queue.front();
+    queue.pop_front();
+    packet.injected = now;
+    ActiveSend& send = sends_[static_cast<std::size_t>(free_vc)];
+    send.busy = true;
+    for (Flit& f : Packetize(packet, dst_coord)) {
+      f.vc = free_vc;
+      f.injected = now;
+      send.remaining.push_back(f);
+    }
+  }
+  start_rr_ = (start_rr_ + 1) % kNumClasses;
+}
+
+void Nic::SendFlits(Cycle now) {
+  if (inject_channel_ == nullptr) return;
+  const auto num_vcs = sends_.size();
+  int sent = 0;
+  bool waiting = false;
+  for (int round = 0; round < inject_flits_per_cycle_; ++round) {
+    bool sent_this_round = false;
+    for (std::size_t k = 0; k < num_vcs; ++k) {
+      const std::size_t v = (send_rr_ + k) % num_vcs;
+      ActiveSend& send = sends_[v];
+      if (!send.busy) continue;
+      waiting = true;
+      if (credits_[v] <= 0) continue;
+      if (send.draining) continue;  // tail sent; VC not yet recycled
+      Flit flit = send.remaining.front();
+      send.remaining.pop_front();
+      --credits_[v];
+      inject_channel_->Push(flit, now);
+      ++stats_.flits_injected[static_cast<std::size_t>(ClassIndex(flit.cls))];
+      ++epoch_flits_[static_cast<std::size_t>(ClassIndex(flit.cls))];
+      if (send.remaining.empty()) send.draining = true;
+      send_rr_ = (v + 1) % num_vcs;
+      ++sent;
+      sent_this_round = true;
+      break;
+    }
+    if (!sent_this_round) break;
+  }
+  if (sent == 0) {
+    const bool queued =
+        !inject_queues_[0].empty() || !inject_queues_[1].empty();
+    if (waiting || queued) ++stats_.inject_stall_cycles;
+  }
+}
+
+void Nic::DrainEjection(Cycle now) {
+  for (int ci = 0; ci < kNumClasses; ++ci) {
+    auto& buffer = eject_buffers_[static_cast<std::size_t>(ci)];
+    int deliveries = 0;
+    while (!buffer.empty() &&
+           deliveries < config_.max_deliveries_per_cycle) {
+      const Flit& front = buffer.front();
+      if (!IsTail(front)) {
+        // Absorb into reassembly; capacity accounting keeps counting it via
+        // eject_held_ until the whole packet is delivered.
+        ++assembled_[front.packet_id];
+        buffer.pop_front();
+        continue;
+      }
+      // Tail flit: the packet is complete (wormhole preserves flit order).
+      Packet packet;
+      packet.id = front.packet_id;
+      packet.type = static_cast<PacketType>(front.type_raw);
+      packet.src = front.src;
+      packet.dst = front.dst;
+      packet.num_flits = front.packet_size;
+      packet.created = front.created;
+      packet.injected = front.injected;
+      packet.ejected = now;
+      packet.payload = front.payload;
+      packet.addr = front.addr;
+      assert(packet.dst == node_ && "flit ejected at the wrong NIC");
+
+      auto it = assembled_.find(front.packet_id);
+      [[maybe_unused]] const int absorbed =
+          it == assembled_.end() ? 0 : it->second;
+      assert(absorbed + 1 == packet.num_flits &&
+             "tail arrived before the rest of its packet");
+
+      if (sink_ != nullptr && !sink_->Accept(packet, now)) {
+        break;  // sink stalled: retry next cycle, backpressure holds
+      }
+      buffer.pop_front();
+      if (it != assembled_.end()) assembled_.erase(it);
+      eject_held_[static_cast<std::size_t>(ci)] -= packet.num_flits;
+      assert(eject_held_[static_cast<std::size_t>(ci)] >= 0);
+      ++stats_.packets_ejected[static_cast<std::size_t>(ci)];
+      stats_.packet_latency[static_cast<std::size_t>(ci)].Add(
+          static_cast<double>(now - packet.created));
+      stats_.network_latency[static_cast<std::size_t>(ci)].Add(
+          static_cast<double>(now - packet.injected));
+      stats_.latency_histogram[static_cast<std::size_t>(ci)].Add(
+          static_cast<double>(now - packet.created));
+      ++deliveries;
+    }
+  }
+}
+
+int Nic::EjectOccupancy(TrafficClass cls) const {
+  return eject_held_[static_cast<std::size_t>(ClassIndex(cls))];
+}
+
+bool Nic::Idle() const {
+  for (const auto& q : inject_queues_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& s : sends_) {
+    if (s.busy) return false;
+  }
+  for (const auto& held : eject_held_) {
+    if (held != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace gnoc

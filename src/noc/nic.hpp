@@ -1,0 +1,204 @@
+// Network interface controller: the adapter between an endpoint (SM core or
+// memory controller model) and its router's local port.
+//
+// Injection side: packets wait in per-class queues; the NIC performs source
+// VC allocation (it is the "upstream router" of the injection link), segments
+// packets into flits and sends at most one flit per cycle, interleaving
+// round-robin across busy VCs.
+//
+// Ejection side: flits arriving through the router's local output port land
+// in per-class bounded buffers; the NIC reassembles packets and delivers them
+// to a PacketSink. A sink may refuse delivery (e.g. a saturated memory
+// controller), which backpressures through the ejection buffer into the
+// network — the coupling that makes naive VC sharing protocol-deadlock-prone.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/channel.hpp"
+#include "noc/packet.hpp"
+#include "noc/vc_policy.hpp"
+
+namespace gnoc {
+
+/// Endpoint interface for receiving packets from the network.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  /// Offers a fully reassembled packet. Return false to stall delivery; the
+  /// NIC will retry next cycle and backpressure builds up behind it.
+  virtual bool Accept(const Packet& packet, Cycle now) = 0;
+};
+
+/// Per-NIC configuration.
+struct NicConfig {
+  int num_vcs = 2;
+  int vc_depth = 4;
+  VcPolicyKind vc_policy = VcPolicyKind::kSplit;
+  int inject_queue_capacity = 64;  ///< packets per class
+  int eject_capacity = 32;         ///< flits per class
+  int max_deliveries_per_cycle = 1;  ///< packet deliveries per class per cycle
+  /// Atomic VC reallocation on the injection link (see RouterConfig).
+  bool atomic_vc_realloc = true;
+  /// Epoch length of dynamic partitioning (vc_policy == kDynamic only).
+  Cycle dynamic_epoch = 512;
+};
+
+/// Geometry of the per-NIC latency histograms: 64 buckets of 32 cycles
+/// (0..2048) plus overflow — wide enough for saturated reply networks.
+inline constexpr double kLatencyBucketWidth = 32.0;
+inline constexpr std::size_t kLatencyBuckets = 64;
+
+/// Per-NIC counters.
+struct NicStats {
+  NicStats()
+      : latency_histogram{Histogram(kLatencyBucketWidth, kLatencyBuckets),
+                          Histogram(kLatencyBucketWidth, kLatencyBuckets)} {}
+  std::array<std::uint64_t, kNumClasses> packets_injected{};
+  std::array<std::uint64_t, kNumClasses> flits_injected{};
+  std::array<std::uint64_t, kNumClasses> packets_ejected{};
+  std::array<std::uint64_t, kNumClasses> flits_ejected{};
+  std::array<std::uint64_t, kNumPacketTypes> packets_by_type{};  // injected
+  /// End-to-end packet latency (created -> delivered), per class.
+  std::array<RunningStats, kNumClasses> packet_latency;
+  /// Network latency (head injected -> delivered), per class.
+  std::array<RunningStats, kNumClasses> network_latency;
+  /// Cycles the injection side had a packet waiting but sent no flit.
+  std::uint64_t inject_stall_cycles = 0;
+  /// Per-class end-to-end latency distribution (see kLatencyBucketWidth).
+  std::array<Histogram, kNumClasses> latency_histogram;
+};
+
+/// The NIC of one tile.
+class Nic {
+ public:
+  Nic(NodeId node, Coord coord, const NicConfig& config);
+
+  NodeId node() const { return node_; }
+  Coord coord() const { return coord_; }
+
+  // --- wiring (called once by Network) ---
+
+  /// Channel delivering flits into the router's local input port.
+  void SetInjectionChannel(FlitChannel* channel);
+  /// Channel returning credits from the router's local input port.
+  void SetCreditChannel(CreditChannel* channel);
+  /// Destination for reassembled packets (may be changed between runs).
+  void SetSink(PacketSink* sink);
+
+  /// Class usage of this NIC's injection link (link-aware monopolizing).
+  void SetLinkMode(LinkMode mode) { link_mode_ = mode; }
+
+  /// Injection bandwidth in flits per cycle (default 1). Prior work
+  /// (Bakhoda et al. [3], Kim et al. [11]) provisions extra injection
+  /// bandwidth at the few memory controllers to serve burst read replies;
+  /// the GpuSystem applies this to MC nodes when configured.
+  void SetInjectFlitsPerCycle(int flits) { inject_flits_per_cycle_ = flits; }
+
+  // --- endpoint-facing API ---
+
+  /// True when the injection queue of `cls` has room for another packet.
+  bool CanInject(TrafficClass cls) const;
+
+  /// Queues `packet` for injection; `dst_coord` is the mesh coordinate of
+  /// `packet.dst`. Returns false (and drops nothing) when the queue is full.
+  bool Inject(const Packet& packet, Coord dst_coord, Cycle now);
+
+  /// Packets currently waiting or partially sent on the injection side.
+  std::size_t InjectQueueDepth(TrafficClass cls) const;
+
+  // --- router-facing API ---
+
+  /// True when the ejection buffer of `cls` can take one more flit.
+  bool CanAcceptEjection(TrafficClass cls) const;
+
+  /// Delivers one flit from the router's local output port.
+  void AcceptEjectedFlit(const Flit& flit, Cycle now);
+
+  // --- per-cycle ---
+
+  /// Runs one cycle: consumes returned credits, sends at most one flit, and
+  /// delivers reassembled packets to the sink.
+  void Tick(Cycle now);
+
+  // --- introspection ---
+
+  const NicStats& stats() const { return stats_; }
+
+  /// Zeroes the statistics counters (queues and in-flight state untouched).
+  void ResetStats() { stats_ = NicStats{}; }
+
+  /// Flits currently held on the ejection side (buffer + reassembly).
+  int EjectOccupancy(TrafficClass cls) const;
+
+  /// Current injection-link VC boundary (dynamic policy only).
+  VcId DynamicBoundary() const { return boundary_; }
+
+  /// Credits currently held for injection VC `vc` (for invariant checks).
+  int InjectionCredits(VcId vc) const {
+    return credits_.at(static_cast<std::size_t>(vc));
+  }
+
+  /// True when nothing is buffered on either side (for drain detection).
+  bool Idle() const;
+
+ private:
+  /// One in-progress packet transmission bound to an injection VC.
+  struct ActiveSend {
+    bool busy = false;      ///< VC held by a packet (sending or draining)
+    bool draining = false;  ///< tail sent; waiting for credits to return
+    std::deque<Flit> remaining;
+  };
+
+  /// The VC range `cls` may use on the injection link right now.
+  VcRange InjectionRange(TrafficClass cls) const;
+
+  /// Advances the dynamic-partitioning feedback loop.
+  void UpdateDynamicBoundary(Cycle now);
+
+  /// Pops returned credits from the router.
+  void ConsumeCredits(Cycle now);
+  /// Binds queued packets to free VCs allowed by the policy.
+  void StartPackets(Cycle now);
+  /// Sends up to inject_flits_per_cycle_ flits across busy VCs
+  /// (round-robin).
+  void SendFlits(Cycle now);
+  /// Delivers completed packets to the sink.
+  void DrainEjection(Cycle now);
+
+  NodeId node_;
+  Coord coord_;
+  NicConfig config_;
+  VcPolicy policy_;
+  LinkMode link_mode_ = LinkMode::kMixed;
+
+  FlitChannel* inject_channel_ = nullptr;
+  CreditChannel* credit_channel_ = nullptr;
+  PacketSink* sink_ = nullptr;
+
+  std::array<std::deque<std::pair<Packet, Coord>>, kNumClasses> inject_queues_;
+  std::vector<ActiveSend> sends_;   // per VC
+  std::vector<int> credits_;       // per VC
+  std::size_t send_rr_ = 0;        // round-robin pointer over VCs
+  int start_rr_ = 0;               // round-robin pointer over classes
+  int inject_flits_per_cycle_ = 1;
+
+  // Dynamic-partitioning state for the injection link.
+  VcId boundary_ = 1;
+  std::array<std::uint64_t, kNumClasses> epoch_flits_{};
+  Cycle next_boundary_update_ = 0;
+
+  std::array<std::deque<Flit>, kNumClasses> eject_buffers_;
+  std::array<int, kNumClasses> eject_held_{};  // flits in buffer + reassembly
+  std::unordered_map<PacketId, int> assembled_;  // flits absorbed per packet
+
+  NicStats stats_;
+};
+
+}  // namespace gnoc

@@ -1,0 +1,315 @@
+#include "noc/router.hpp"
+
+#include <cassert>
+
+#include "noc/nic.hpp"
+
+namespace gnoc {
+
+Router::Router(NodeId node, Coord coord, const RouterConfig& config)
+    : node_(node),
+      coord_(coord),
+      config_(config),
+      policy_(config.vc_policy, config.num_vcs) {
+  assert(config.num_vcs >= 1);
+  assert(config.vc_depth >= 1);
+  const auto total_vcs =
+      static_cast<std::size_t>(kNumPorts * config_.num_vcs);
+  input_vcs_.reserve(total_vcs);
+  for (std::size_t i = 0; i < total_vcs; ++i) {
+    input_vcs_.emplace_back(config_.vc_depth);
+  }
+  output_vcs_.resize(total_vcs);
+  boundaries_.fill(static_cast<VcId>(config_.num_vcs / 2));
+  next_boundary_update_ = config_.dynamic_epoch;
+  for (int p = 0; p < kNumPorts; ++p) {
+    va_arb_.push_back(MakeArbiter(config_.arbiter, total_vcs));
+    sa_input_arb_.push_back(
+        MakeArbiter(config_.arbiter, static_cast<std::size_t>(config_.num_vcs)));
+    sa_output_arb_.push_back(
+        MakeArbiter(config_.arbiter, static_cast<std::size_t>(kNumPorts)));
+  }
+}
+
+void Router::SetOutputChannel(Port out_port, FlitChannel* channel) {
+  out_channels_[static_cast<std::size_t>(PortIndex(out_port))] = channel;
+  // Credits for a fresh link equal the downstream buffer depth.
+  if (channel != nullptr) {
+    for (VcId v = 0; v < config_.num_vcs; ++v) {
+      Ovc(out_port, v).credits = config_.vc_depth;
+    }
+  }
+}
+
+void Router::SetCreditReturnChannel(Port in_port, CreditChannel* channel) {
+  credit_return_[static_cast<std::size_t>(PortIndex(in_port))] = channel;
+}
+
+void Router::SetNic(Nic* nic) { nic_ = nic; }
+
+void Router::SetLinkMode(Port out_port, LinkMode mode) {
+  link_modes_[static_cast<std::size_t>(PortIndex(out_port))] = mode;
+}
+
+void Router::AcceptFlit(Port in_port, const Flit& flit, Cycle now) {
+  assert(flit.vc >= 0 && flit.vc < config_.num_vcs);
+  InputVc& ivc = Ivc(in_port, flit.vc);
+  assert(!ivc.buffer.full() && "credit protocol violated: buffer overflow");
+  Flit f = flit;
+  f.ready = now + 1;  // models the RC/VA/SA pipeline stage
+  ivc.buffer.Push(f);
+}
+
+void Router::AcceptCredit(Port out_port, VcId vc) {
+  assert(vc >= 0 && vc < config_.num_vcs);
+  OutputVc& ovc = Ovc(out_port, vc);
+  ++ovc.credits;
+  assert(ovc.credits <= config_.vc_depth && "credit overflow");
+}
+
+bool Router::FrontEligible(const InputVc& ivc, Cycle now) const {
+  return !ivc.buffer.empty() && ivc.buffer.Front().ready <= now;
+}
+
+void Router::Tick(Cycle now) {
+  if (config_.vc_policy == VcPolicyKind::kDynamic &&
+      now >= next_boundary_update_) {
+    UpdateDynamicBoundaries(now);
+  }
+  RecycleOutputVcs();
+  RouteAndAllocate(now);
+  SwitchAllocateAndTraverse(now);
+  stats_.buffered_flit_cycles += BufferedFlits();
+}
+
+VcRange Router::AllowedRange(TrafficClass cls, Port out_port) const {
+  if (config_.vc_policy == VcPolicyKind::kDynamic) {
+    return PartitionAt(cls,
+                       boundaries_[static_cast<std::size_t>(PortIndex(out_port))],
+                       config_.num_vcs);
+  }
+  return policy_.AllowedVcs(
+      cls, out_port, link_modes_[static_cast<std::size_t>(PortIndex(out_port))]);
+}
+
+void Router::UpdateDynamicBoundaries(Cycle now) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& counts = epoch_flits_[static_cast<std::size_t>(p)];
+    const std::uint64_t req = counts[ClassIndex(TrafficClass::kRequest)];
+    const std::uint64_t rep = counts[ClassIndex(TrafficClass::kReply)];
+    counts.fill(0);
+    if (req + rep == 0) continue;  // idle port: keep the current boundary
+    const double share =
+        static_cast<double>(req) / static_cast<double>(req + rep);
+    const VcId target = BoundaryForShare(share, config_.num_vcs);
+    VcId& boundary = boundaries_[static_cast<std::size_t>(p)];
+    // Hysteresis: move one VC per epoch towards the target.
+    if (target > boundary) {
+      ++boundary;
+    } else if (target < boundary) {
+      --boundary;
+    }
+  }
+  next_boundary_update_ = now + config_.dynamic_epoch;
+}
+
+VcId Router::DynamicBoundary(Port out_port) const {
+  return boundaries_[static_cast<std::size_t>(PortIndex(out_port))];
+}
+
+void Router::RecycleOutputVcs() {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const Port port = static_cast<Port>(p);
+    if (out_channels_[static_cast<std::size_t>(p)] == nullptr) continue;
+    for (VcId v = 0; v < config_.num_vcs; ++v) {
+      OutputVc& ovc = Ovc(port, v);
+      if (ovc.allocated && ovc.tail_sent &&
+          (!config_.atomic_vc_realloc || ovc.credits == config_.vc_depth)) {
+        ovc.allocated = false;
+        ovc.tail_sent = false;
+      }
+    }
+  }
+}
+
+void Router::RouteAndAllocate(Cycle now) {
+  // --- RC: compute the output port for input VCs whose front flit is a
+  // head and whose current packet has no route yet.
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (VcId v = 0; v < config_.num_vcs; ++v) {
+      InputVc& ivc = Ivc(static_cast<Port>(p), v);
+      if (ivc.route_valid || !FrontEligible(ivc, now)) continue;
+      const Flit& front = ivc.buffer.Front();
+      assert(IsHead(front) &&
+             "non-head flit at front of an unrouted VC: wormhole broken");
+      ivc.out_port =
+          ComputeOutputPort(config_.routing, front.cls, coord_, front.dst_coord);
+      ivc.route_valid = true;
+      ivc.eject = (ivc.out_port == Port::kLocal);
+      ivc.out_vc = kInvalidVc;
+    }
+  }
+
+  // --- VA: allocate a downstream VC per output port, round-robin over
+  // requesting input VCs. Ejection needs no VC (the NIC reassembles per
+  // class), so local-bound packets skip VA.
+  const auto total_vcs = static_cast<std::size_t>(kNumPorts * config_.num_vcs);
+  for (int op = 0; op < kNumPorts; ++op) {
+    const Port out_port = static_cast<Port>(op);
+    if (out_port == Port::kLocal) continue;
+    if (out_channels_[static_cast<std::size_t>(op)] == nullptr) continue;
+
+    std::vector<bool> requests(total_vcs, false);
+    int num_requests = 0;
+    for (int p = 0; p < kNumPorts; ++p) {
+      for (VcId v = 0; v < config_.num_vcs; ++v) {
+        const InputVc& ivc = Ivc(static_cast<Port>(p), v);
+        if (ivc.route_valid && !ivc.eject && ivc.out_vc == kInvalidVc &&
+            ivc.out_port == out_port && FrontEligible(ivc, now)) {
+          requests[static_cast<std::size_t>(
+              FlatVcIndex(static_cast<Port>(p), v))] = true;
+          ++num_requests;
+        }
+      }
+    }
+    while (num_requests > 0) {
+      const int winner = va_arb_[static_cast<std::size_t>(op)]->Arbitrate(requests);
+      if (winner < 0) break;
+      requests[static_cast<std::size_t>(winner)] = false;
+      --num_requests;
+      InputVc& ivc = input_vcs_[static_cast<std::size_t>(winner)];
+      const TrafficClass cls = ivc.buffer.Front().cls;
+      const VcRange range = AllowedRange(cls, out_port);
+      VcId granted = kInvalidVc;
+      for (VcId v = range.begin; v < range.end; ++v) {
+        if (!Ovc(out_port, v).allocated) {
+          granted = v;
+          break;
+        }
+      }
+      if (granted == kInvalidVc) {
+        ++stats_.va_failures;
+        continue;  // another class's requester may still succeed
+      }
+      Ovc(out_port, granted).allocated = true;
+      ivc.out_vc = granted;
+    }
+  }
+}
+
+void Router::SwitchAllocateAndTraverse(Cycle now) {
+  // --- SA phase 1: each input port nominates one of its VCs.
+  std::array<int, kNumPorts> nominee{};  // VC id per input port, -1 = none
+  nominee.fill(-1);
+  for (int p = 0; p < kNumPorts; ++p) {
+    std::vector<bool> requests(static_cast<std::size_t>(config_.num_vcs),
+                               false);
+    bool any = false;
+    for (VcId v = 0; v < config_.num_vcs; ++v) {
+      const InputVc& ivc = Ivc(static_cast<Port>(p), v);
+      if (!ivc.route_valid || !FrontEligible(ivc, now)) continue;
+      const TrafficClass cls = ivc.buffer.Front().cls;
+      bool resource_ok = false;
+      if (ivc.eject) {
+        resource_ok = nic_ != nullptr && nic_->CanAcceptEjection(cls);
+      } else if (ivc.out_vc != kInvalidVc) {
+        resource_ok = Ovc(ivc.out_port, ivc.out_vc).credits > 0;
+      }
+      if (resource_ok) {
+        requests[static_cast<std::size_t>(v)] = true;
+        any = true;
+      } else if (ivc.out_vc != kInvalidVc || ivc.eject) {
+        ++stats_.sa_stalls;
+      }
+    }
+    if (any) {
+      nominee[static_cast<std::size_t>(p)] =
+          sa_input_arb_[static_cast<std::size_t>(p)]->Arbitrate(requests);
+    }
+  }
+
+  // --- SA phase 2: each output port grants one input port.
+  std::array<int, kNumPorts> grant{};  // input port per output port, -1=none
+  grant.fill(-1);
+  for (int op = 0; op < kNumPorts; ++op) {
+    std::vector<bool> requests(kNumPorts, false);
+    bool any = false;
+    for (int p = 0; p < kNumPorts; ++p) {
+      const int v = nominee[static_cast<std::size_t>(p)];
+      if (v < 0) continue;
+      const InputVc& ivc = Ivc(static_cast<Port>(p), v);
+      if (PortIndex(ivc.out_port) == op) {
+        requests[static_cast<std::size_t>(p)] = true;
+        any = true;
+      }
+    }
+    if (any) {
+      grant[static_cast<std::size_t>(op)] =
+          sa_output_arb_[static_cast<std::size_t>(op)]->Arbitrate(requests);
+    }
+  }
+
+  // --- ST: winners traverse the switch.
+  bool any_traversal = false;
+  for (int op = 0; op < kNumPorts; ++op) {
+    const int p = grant[static_cast<std::size_t>(op)];
+    if (p < 0) continue;
+    const int v = nominee[static_cast<std::size_t>(p)];
+    assert(v >= 0);
+    InputVc& ivc = Ivc(static_cast<Port>(p), v);
+    Flit flit = ivc.buffer.Pop();
+    any_traversal = true;
+    ++stats_.flits_forwarded;
+    stats_.flits_out[static_cast<std::size_t>(op)]
+                    [static_cast<std::size_t>(ClassIndex(flit.cls))]++;
+    epoch_flits_[static_cast<std::size_t>(op)]
+                [static_cast<std::size_t>(ClassIndex(flit.cls))]++;
+
+    // Return a credit to whoever feeds this input port.
+    if (CreditChannel* cc = credit_return_[static_cast<std::size_t>(p)]) {
+      cc->Push(Credit{static_cast<VcId>(v)}, now);
+    }
+
+    const Port out_port = static_cast<Port>(op);
+    if (out_port == Port::kLocal) {
+      assert(nic_ != nullptr);
+      nic_->AcceptEjectedFlit(flit, now);
+    } else {
+      OutputVc& ovc = Ovc(out_port, ivc.out_vc);
+      assert(ovc.credits > 0);
+      --ovc.credits;
+      flit.vc = ivc.out_vc;
+      FlitChannel* channel = out_channels_[static_cast<std::size_t>(op)];
+      assert(channel != nullptr);
+      channel->Push(flit, now);
+      if (IsTail(flit)) ovc.tail_sent = true;  // recycled once drained
+    }
+
+    if (IsTail(flit)) {
+      ivc.route_valid = false;
+      ivc.out_vc = kInvalidVc;
+      ivc.eject = false;
+    }
+  }
+  if (any_traversal) ++stats_.busy_cycles;
+}
+
+std::size_t Router::BufferedFlits() const {
+  std::size_t total = 0;
+  for (const InputVc& ivc : input_vcs_) total += ivc.buffer.size();
+  return total;
+}
+
+std::size_t Router::VcOccupancy(Port in_port, VcId vc) const {
+  return Ivc(in_port, vc).buffer.size();
+}
+
+int Router::OutputCredits(Port out_port, VcId vc) const {
+  return Ovc(out_port, vc).credits;
+}
+
+bool Router::OutputVcAllocated(Port out_port, VcId vc) const {
+  return Ovc(out_port, vc).allocated;
+}
+
+}  // namespace gnoc

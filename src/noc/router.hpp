@@ -1,0 +1,209 @@
+// Five-port virtual-channel wormhole router (paper Sec. 2.2).
+//
+// Pipeline model: an arriving flit is buffered in its input VC and becomes
+// eligible one cycle later, modelling the RC/VA/SA stage; switch traversal
+// happens the cycle it wins switch arbitration, and the link adds one more
+// cycle. Route computation, VC allocation and switch allocation are all
+// performed within one tick (the paper's routers fold RC+VA+SA into the
+// first pipeline stage via lookahead/speculation).
+//
+// Flow control is credit-based: the router tracks, per output VC, how many
+// buffer slots remain in the downstream input VC, and returns a credit
+// upstream whenever a flit leaves one of its own input buffers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/buffer.hpp"
+#include "noc/channel.hpp"
+#include "noc/routing.hpp"
+#include "noc/vc_policy.hpp"
+
+namespace gnoc {
+
+class Nic;
+
+/// Static configuration shared by every router in a network.
+struct RouterConfig {
+  int num_vcs = 2;
+  int vc_depth = 4;
+  RoutingAlgorithm routing = RoutingAlgorithm::kXY;
+  VcPolicyKind vc_policy = VcPolicyKind::kSplit;
+  /// Atomic (conservative) VC reallocation: an output VC becomes free for
+  /// the next packet only after its downstream buffer has fully drained
+  /// (all credits returned), not merely after the tail left. This matches
+  /// low-cost router designs and makes per-VC buffering the throughput
+  /// limiter on saturated links — the effect VC monopolizing exploits.
+  bool atomic_vc_realloc = true;
+  /// Epoch length (cycles) of the dynamic-partitioning feedback loop
+  /// (only used when vc_policy == kDynamic).
+  Cycle dynamic_epoch = 512;
+  /// Arbiter microarchitecture used by the VA and SA stages.
+  ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+};
+
+/// Per-router counters, exposed for link-utilization analysis (Fig. 4/6).
+struct RouterStats {
+  /// Flits sent through each output port, by traffic class.
+  std::array<std::array<std::uint64_t, kNumClasses>, kNumPorts> flits_out{};
+  /// Cycles in which at least one flit traversed the switch.
+  std::uint64_t busy_cycles = 0;
+  /// Total switch traversals.
+  std::uint64_t flits_forwarded = 0;
+  /// VA attempts that failed because no allowed output VC was free.
+  std::uint64_t va_failures = 0;
+  /// SA requests that lost arbitration or lacked credits.
+  std::uint64_t sa_stalls = 0;
+  /// Sum over cycles of total buffered flits (divide by cycles for mean).
+  std::uint64_t buffered_flit_cycles = 0;
+};
+
+/// One mesh router. Wiring (channels, NIC) is injected by the Network.
+class Router {
+ public:
+  Router(NodeId node, Coord coord, const RouterConfig& config);
+
+  NodeId node() const { return node_; }
+  Coord coord() const { return coord_; }
+  const RouterConfig& config() const { return config_; }
+
+  // --- wiring (called once by Network) ---
+
+  /// Downstream flit channel for `out_port` (nullptr on mesh boundary).
+  void SetOutputChannel(Port out_port, FlitChannel* channel);
+
+  /// Credit channel returning credits to the upstream router/NIC that feeds
+  /// input port `in_port`.
+  void SetCreditReturnChannel(Port in_port, CreditChannel* channel);
+
+  /// The NIC attached to the local port (ejection target).
+  void SetNic(Nic* nic);
+
+  /// Sets the statically analyzed class usage of the link leaving through
+  /// `out_port` (consumed by link-aware partial monopolizing). Defaults to
+  /// kMixed, which is always safe.
+  void SetLinkMode(Port out_port, LinkMode mode);
+
+  // --- per-cycle interface (called by Network) ---
+
+  /// Delivers a flit arriving on `in_port`; it occupies the VC the upstream
+  /// allocator chose (`flit.vc`) and becomes pipeline-eligible next cycle.
+  void AcceptFlit(Port in_port, const Flit& flit, Cycle now);
+
+  /// Delivers a credit for output port `out_port`, VC `vc`.
+  void AcceptCredit(Port out_port, VcId vc);
+
+  /// Runs one cycle: route computation, VC allocation, switch allocation and
+  /// switch traversal for eligible flits.
+  void Tick(Cycle now);
+
+  // --- introspection ---
+
+  const RouterStats& stats() const { return stats_; }
+
+  /// Zeroes the statistics counters (network state is untouched).
+  void ResetStats() { stats_ = RouterStats{}; }
+
+  /// Total flits currently buffered in all input VCs.
+  std::size_t BufferedFlits() const;
+
+  /// Occupancy of one input VC (for tests).
+  std::size_t VcOccupancy(Port in_port, VcId vc) const;
+
+  /// Credits currently available on one output VC (for tests).
+  int OutputCredits(Port out_port, VcId vc) const;
+
+  /// True when the output VC is currently allocated to a packet.
+  bool OutputVcAllocated(Port out_port, VcId vc) const;
+
+  /// Current request/reply VC boundary of `out_port` (dynamic policy only;
+  /// requests use [0, boundary), replies [boundary, num_vcs)).
+  VcId DynamicBoundary(Port out_port) const;
+
+ private:
+  /// State of one input VC.
+  struct InputVc {
+    explicit InputVc(int depth) : buffer(static_cast<std::size_t>(depth)) {}
+    VcBuffer buffer;
+    bool route_valid = false;     ///< out_port computed for current packet
+    Port out_port = Port::kLocal;
+    VcId out_vc = kInvalidVc;     ///< allocated downstream VC (non-local)
+    bool eject = false;           ///< current packet leaves via local port
+  };
+
+  /// Book-keeping for one downstream input VC.
+  struct OutputVc {
+    bool allocated = false;
+    bool tail_sent = false;  ///< tail forwarded; waiting for drain (atomic)
+    int credits = 0;
+  };
+
+  /// Frees output VCs whose packet has fully drained downstream.
+  void RecycleOutputVcs();
+
+  /// The VC range `cls` may allocate on `out_port` right now (honours the
+  /// static policy, the link mode and — for kDynamic — the port boundary).
+  VcRange AllowedRange(TrafficClass cls, Port out_port) const;
+
+  /// Moves each port's dynamic boundary one step towards the traffic share
+  /// observed in the finished epoch, then starts a new epoch.
+  void UpdateDynamicBoundaries(Cycle now);
+
+  int FlatVcIndex(Port port, VcId vc) const {
+    return PortIndex(port) * config_.num_vcs + vc;
+  }
+
+  InputVc& Ivc(Port port, VcId vc) {
+    return input_vcs_[static_cast<std::size_t>(FlatVcIndex(port, vc))];
+  }
+  const InputVc& Ivc(Port port, VcId vc) const {
+    return input_vcs_[static_cast<std::size_t>(FlatVcIndex(port, vc))];
+  }
+  OutputVc& Ovc(Port port, VcId vc) {
+    return output_vcs_[static_cast<std::size_t>(FlatVcIndex(port, vc))];
+  }
+  const OutputVc& Ovc(Port port, VcId vc) const {
+    return output_vcs_[static_cast<std::size_t>(FlatVcIndex(port, vc))];
+  }
+
+  /// True when the front flit of `ivc` exists and is pipeline-eligible.
+  bool FrontEligible(const InputVc& ivc, Cycle now) const;
+
+  void RouteAndAllocate(Cycle now);  // RC + VA
+  void SwitchAllocateAndTraverse(Cycle now);  // SA + ST
+
+  NodeId node_;
+  Coord coord_;
+  RouterConfig config_;
+  VcPolicy policy_;
+
+  std::vector<InputVc> input_vcs_;    // [port][vc] flattened
+  std::vector<OutputVc> output_vcs_;  // [port][vc] flattened
+
+  std::array<FlitChannel*, kNumPorts> out_channels_{};
+  std::array<CreditChannel*, kNumPorts> credit_return_{};
+  std::array<LinkMode, kNumPorts> link_modes_{};  // default kMixed
+  Nic* nic_ = nullptr;
+
+  // Dynamic-partitioning state: per-port boundary and per-epoch flit
+  // counters by class.
+  std::array<VcId, kNumPorts> boundaries_{};
+  std::array<std::array<std::uint64_t, kNumClasses>, kNumPorts> epoch_flits_{};
+  Cycle next_boundary_update_ = 0;
+
+  // One VA arbiter per output port (over all input VCs), one SA input
+  // arbiter per input port (over its VCs), one SA output arbiter per output
+  // port (over input ports). Kind per RouterConfig::arbiter.
+  std::vector<std::unique_ptr<Arbiter>> va_arb_;
+  std::vector<std::unique_ptr<Arbiter>> sa_input_arb_;
+  std::vector<std::unique_ptr<Arbiter>> sa_output_arb_;
+
+  RouterStats stats_;
+};
+
+}  // namespace gnoc

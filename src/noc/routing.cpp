@@ -1,0 +1,66 @@
+#include "noc/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <stdexcept>
+
+namespace gnoc {
+
+const char* RoutingName(RoutingAlgorithm r) {
+  switch (r) {
+    case RoutingAlgorithm::kXY: return "XY";
+    case RoutingAlgorithm::kYX: return "YX";
+    case RoutingAlgorithm::kXYYX: return "XY-YX";
+  }
+  return "?";
+}
+
+RoutingAlgorithm ParseRouting(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "xy") return RoutingAlgorithm::kXY;
+  if (lower == "yx") return RoutingAlgorithm::kYX;
+  if (lower == "xy-yx" || lower == "xyyx") return RoutingAlgorithm::kXYYX;
+  throw std::invalid_argument("unknown routing algorithm: '" + name + "'");
+}
+
+Port ComputeOutputPort(RoutingAlgorithm algo, TrafficClass cls, Coord here,
+                       Coord dst) {
+  if (here == dst) return Port::kLocal;
+  const DimensionOrder order = OrderFor(algo, cls);
+  const bool need_x = here.x != dst.x;
+  const bool need_y = here.y != dst.y;
+  const bool go_x =
+      need_x && (order == DimensionOrder::kXFirst || !need_y);
+  if (go_x) {
+    return dst.x > here.x ? Port::kEast : Port::kWest;
+  }
+  assert(need_y);
+  // y grows southwards (row 0 is the top row).
+  return dst.y > here.y ? Port::kSouth : Port::kNorth;
+}
+
+std::vector<Coord> TraceRoute(RoutingAlgorithm algo, TrafficClass cls,
+                              Coord src, Coord dst) {
+  std::vector<Coord> path;
+  path.push_back(src);
+  Coord here = src;
+  while (here != dst) {
+    const Port p = ComputeOutputPort(algo, cls, here, dst);
+    switch (p) {
+      case Port::kEast: ++here.x; break;
+      case Port::kWest: --here.x; break;
+      case Port::kSouth: ++here.y; break;
+      case Port::kNorth: --here.y; break;
+      case Port::kLocal: assert(false && "unreachable"); break;
+    }
+    path.push_back(here);
+  }
+  return path;
+}
+
+int RouteLength(Coord src, Coord dst) { return ManhattanDistance(src, dst); }
+
+}  // namespace gnoc

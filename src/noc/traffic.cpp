@@ -1,0 +1,257 @@
+#include "noc/traffic.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gnoc {
+
+const char* TrafficPatternName(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniformRandom: return "uniform-random";
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kBitReverse: return "bit-reverse";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kTornado: return "tornado";
+    case TrafficPattern::kNeighbor: return "neighbor";
+    case TrafficPattern::kShuffle: return "shuffle";
+  }
+  return "?";
+}
+
+TrafficPattern ParseTrafficPattern(const std::string& name) {
+  if (name == "uniform" || name == "uniform-random") {
+    return TrafficPattern::kUniformRandom;
+  }
+  if (name == "transpose") return TrafficPattern::kTranspose;
+  if (name == "bitrev" || name == "bit-reverse") {
+    return TrafficPattern::kBitReverse;
+  }
+  if (name == "hotspot") return TrafficPattern::kHotspot;
+  if (name == "tornado") return TrafficPattern::kTornado;
+  if (name == "neighbor" || name == "neighbour") {
+    return TrafficPattern::kNeighbor;
+  }
+  if (name == "shuffle") return TrafficPattern::kShuffle;
+  throw std::invalid_argument("unknown traffic pattern: '" + name + "'");
+}
+
+// ---------------------------------------------------------------------------
+// OpenLoopTraffic
+// ---------------------------------------------------------------------------
+
+class OpenLoopTraffic::AlwaysAcceptSink final : public PacketSink {
+ public:
+  bool Accept(const Packet&, Cycle) override { return true; }
+};
+
+OpenLoopTraffic::OpenLoopTraffic(Network& network,
+                                 const OpenLoopConfig& config)
+    : network_(network),
+      config_(config),
+      sink_(std::make_unique<AlwaysAcceptSink>()) {
+  Rng master(config.seed);
+  rngs_.reserve(static_cast<std::size_t>(network.num_nodes()));
+  for (NodeId n = 0; n < network.num_nodes(); ++n) {
+    rngs_.push_back(master.Fork());
+    network_.SetSink(n, sink_.get());
+  }
+  if (config_.pattern == TrafficPattern::kHotspot) {
+    assert(!config_.hotspots.empty() && "hotspot pattern needs hotspots");
+  }
+}
+
+OpenLoopTraffic::~OpenLoopTraffic() = default;
+
+NodeId OpenLoopTraffic::PickDestination(NodeId src) {
+  Rng& rng = rngs_[static_cast<std::size_t>(src)];
+  const int n = network_.num_nodes();
+  switch (config_.pattern) {
+    case TrafficPattern::kUniformRandom: {
+      NodeId dst = src;
+      while (dst == src) {
+        dst = static_cast<NodeId>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+      }
+      return dst;
+    }
+    case TrafficPattern::kTranspose: {
+      const Coord c = network_.CoordOf(src);
+      // Transpose requires a square mesh; clamp defensively otherwise.
+      const int w = network_.width();
+      const int h = network_.height();
+      Coord t{c.y < w ? c.y : w - 1, c.x < h ? c.x : h - 1};
+      return network_.NodeAt(t);
+    }
+    case TrafficPattern::kBitReverse: {
+      int bits = 0;
+      while ((1 << bits) < n) ++bits;
+      int reversed = 0;
+      for (int b = 0; b < bits; ++b) {
+        if (src & (1 << b)) reversed |= 1 << (bits - 1 - b);
+      }
+      return reversed % n;
+    }
+    case TrafficPattern::kHotspot: {
+      if (rng.Bernoulli(config_.hotspot_fraction)) {
+        const auto k = rng.NextBounded(config_.hotspots.size());
+        NodeId dst = config_.hotspots[static_cast<std::size_t>(k)];
+        if (dst != src) return dst;
+      }
+      NodeId dst = src;
+      while (dst == src) {
+        dst = static_cast<NodeId>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+      }
+      return dst;
+    }
+    case TrafficPattern::kTornado: {
+      const Coord c = network_.CoordOf(src);
+      const int w = network_.width();
+      // Half-way around the ring minus one: adversarial for DOR meshes.
+      const int shift = (w + 1) / 2 - 1;
+      return network_.NodeAt({(c.x + (shift == 0 ? 1 : shift)) % w, c.y});
+    }
+    case TrafficPattern::kNeighbor: {
+      const Coord c = network_.CoordOf(src);
+      return network_.NodeAt({(c.x + 1) % network_.width(), c.y});
+    }
+    case TrafficPattern::kShuffle: {
+      int bits = 0;
+      while ((1 << bits) < n) ++bits;
+      if (bits == 0) return src == 0 ? 1 : 0;
+      const int rotated =
+          ((src << 1) | (src >> (bits - 1))) & ((1 << bits) - 1);
+      return rotated % n;
+    }
+  }
+  return src == 0 ? 1 : 0;
+}
+
+void OpenLoopTraffic::Tick() {
+  const double packet_rate =
+      config_.injection_rate / static_cast<double>(config_.packet_size);
+  for (NodeId n = 0; n < network_.num_nodes(); ++n) {
+    if (!rngs_[static_cast<std::size_t>(n)].Bernoulli(packet_rate)) continue;
+    ++generated_;
+    Packet p;
+    p.type = config_.cls == TrafficClass::kRequest ? PacketType::kReadRequest
+                                                   : PacketType::kReadReply;
+    p.src = n;
+    p.dst = PickDestination(n);
+    p.num_flits = config_.packet_size;
+    if (!network_.Inject(p)) ++dropped_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RequestReplyEcho
+// ---------------------------------------------------------------------------
+
+/// MC-side sink: queues requests and echoes one reply per cycle after the
+/// configured service latency.
+class RequestReplyEcho::McEcho final : public PacketSink {
+ public:
+  McEcho(RequestReplyEcho& parent, NodeId node)
+      : parent_(parent), node_(node) {}
+
+  bool Accept(const Packet& packet, Cycle now) override {
+    assert(packet.cls() == TrafficClass::kRequest);
+    if (queue_.size() >=
+        static_cast<std::size_t>(parent_.config_.mc_queue_capacity)) {
+      return false;  // MC saturated: backpressure into the network
+    }
+    queue_.push_back({packet, now + parent_.config_.service_latency});
+    return true;
+  }
+
+  void Tick(Cycle now) {
+    if (queue_.empty()) return;
+    const auto& [request, ready_at] = queue_.front();
+    if (ready_at > now) return;
+    if (!parent_.network_.CanInject(node_, TrafficClass::kReply)) return;
+    Packet reply;
+    reply.type = request.type == PacketType::kReadRequest
+                     ? PacketType::kReadReply
+                     : PacketType::kWriteReply;
+    reply.src = node_;
+    reply.dst = request.src;
+    reply.num_flits = parent_.config_.sizes.SizeOf(reply.type);
+    reply.payload = request.payload;
+    const bool ok = parent_.network_.Inject(reply);
+    assert(ok);
+    (void)ok;
+    queue_.pop_front();
+  }
+
+ private:
+  RequestReplyEcho& parent_;
+  NodeId node_;
+  std::deque<std::pair<Packet, Cycle>> queue_;
+};
+
+/// Core-side sink: records round-trip completion of replies.
+class RequestReplyEcho::CoreSink final : public PacketSink {
+ public:
+  explicit CoreSink(RequestReplyEcho& parent) : parent_(parent) {}
+
+  bool Accept(const Packet& packet, Cycle now) override {
+    assert(packet.cls() == TrafficClass::kReply);
+    auto it = parent_.outstanding_.find(packet.payload);
+    assert(it != parent_.outstanding_.end());
+    parent_.round_trip_.Add(static_cast<double>(now - it->second));
+    parent_.outstanding_.erase(it);
+    ++parent_.replies_received_;
+    return true;
+  }
+
+ private:
+  RequestReplyEcho& parent_;
+};
+
+RequestReplyEcho::RequestReplyEcho(Network& network, const TilePlan& plan,
+                                   const EchoConfig& config)
+    : network_(network),
+      plan_(plan),
+      config_(config),
+      core_sink_(std::make_unique<CoreSink>(*this)) {
+  Rng master(config.seed);
+  rngs_.reserve(static_cast<std::size_t>(network.num_nodes()));
+  for (NodeId n = 0; n < network.num_nodes(); ++n) rngs_.push_back(master.Fork());
+  for (NodeId mc : plan.mc_nodes()) {
+    mc_sinks_.push_back(std::make_unique<McEcho>(*this, mc));
+    network_.SetSink(mc, mc_sinks_.back().get());
+  }
+  for (NodeId core : plan.core_nodes()) {
+    network_.SetSink(core, core_sink_.get());
+  }
+}
+
+RequestReplyEcho::~RequestReplyEcho() = default;
+
+void RequestReplyEcho::Tick() {
+  const Cycle now = network_.now();
+  // Core request generation.
+  if (generating_) {
+    for (NodeId core : plan_.core_nodes()) {
+      Rng& rng = rngs_[static_cast<std::size_t>(core)];
+      if (!rng.Bernoulli(config_.request_rate)) continue;
+      if (!network_.CanInject(core, TrafficClass::kRequest)) continue;
+      const auto& mcs = plan_.mc_nodes();
+      const NodeId mc =
+          mcs[static_cast<std::size_t>(rng.NextBounded(mcs.size()))];
+      Packet req;
+      req.type = PacketType::kReadRequest;
+      req.src = core;
+      req.dst = mc;
+      req.num_flits = config_.sizes.SizeOf(req.type);
+      req.payload = next_token_++;
+      outstanding_[req.payload] = now;
+      const bool ok = network_.Inject(req);
+      assert(ok);
+      (void)ok;
+      ++requests_sent_;
+    }
+  }
+  // MC service.
+  for (auto& mc : mc_sinks_) mc->Tick(now);
+}
+
+}  // namespace gnoc

@@ -1,0 +1,101 @@
+#include "noc/vc_policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace gnoc {
+
+const char* VcPolicyName(VcPolicyKind k) {
+  switch (k) {
+    case VcPolicyKind::kSplit: return "split";
+    case VcPolicyKind::kFullMonopolize: return "full-monopolize";
+    case VcPolicyKind::kPartialMonopolize: return "partial-monopolize";
+    case VcPolicyKind::kAsymmetric: return "asymmetric";
+    case VcPolicyKind::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+VcPolicyKind ParseVcPolicy(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "split" || lower == "baseline") return VcPolicyKind::kSplit;
+  if (lower == "mono" || lower == "full" || lower == "full-monopolize" ||
+      lower == "monopolize") {
+    return VcPolicyKind::kFullMonopolize;
+  }
+  if (lower == "partial" || lower == "partial-monopolize" || lower == "pm") {
+    return VcPolicyKind::kPartialMonopolize;
+  }
+  if (lower == "asym" || lower == "asymmetric") return VcPolicyKind::kAsymmetric;
+  if (lower == "dynamic" || lower == "feedback") return VcPolicyKind::kDynamic;
+  throw std::invalid_argument("unknown VC policy: '" + name + "'");
+}
+
+VcPolicy::VcPolicy(VcPolicyKind kind, int num_vcs)
+    : kind_(kind), num_vcs_(num_vcs) {
+  assert(num_vcs >= 1);
+  if (kind != VcPolicyKind::kFullMonopolize) {
+    // Partitioning policies need at least one VC per class.
+    assert(num_vcs >= 2);
+  }
+}
+
+VcRange VcPolicy::AllowedVcs(TrafficClass cls, Port link_direction,
+                             LinkMode mode) const {
+  (void)link_direction;
+  const VcRange all{0, num_vcs_};
+  const VcRange split_request{0, num_vcs_ / 2};
+  const VcRange split_reply{num_vcs_ / 2, num_vcs_};
+  const VcRange asym_request{0, 1};
+  const VcRange asym_reply{1, num_vcs_};
+
+  switch (kind_) {
+    case VcPolicyKind::kSplit:
+      return cls == TrafficClass::kRequest ? split_request : split_reply;
+    case VcPolicyKind::kFullMonopolize:
+      return all;
+    case VcPolicyKind::kPartialMonopolize:
+      // Links that only one class ever uses (per the static route analysis)
+      // are monopolized by it; mixed links stay split to preserve protocol-
+      // deadlock freedom. Under bottom MCs + XY-YX this reduces to the
+      // paper's "vertical monopolized, horizontal split" (Fig. 6c).
+      if (mode == LinkMode::kSingleClass) return all;
+      return cls == TrafficClass::kRequest ? split_request : split_reply;
+    case VcPolicyKind::kAsymmetric:
+      return cls == TrafficClass::kRequest ? asym_request : asym_reply;
+    case VcPolicyKind::kDynamic:
+      // The static view of dynamic partitioning is the balanced split; the
+      // Router/Nic override it per port with their current boundary.
+      return cls == TrafficClass::kRequest ? split_request : split_reply;
+  }
+  return all;
+}
+
+VcRange PartitionAt(TrafficClass cls, VcId boundary, int num_vcs) {
+  assert(boundary >= 1 && boundary <= num_vcs - 1);
+  return cls == TrafficClass::kRequest ? VcRange{0, boundary}
+                                       : VcRange{boundary, num_vcs};
+}
+
+VcId BoundaryForShare(double request_share, int num_vcs) {
+  assert(num_vcs >= 2);
+  const double clamped = std::clamp(request_share, 0.0, 1.0);
+  const auto raw =
+      static_cast<VcId>(std::lround(clamped * static_cast<double>(num_vcs)));
+  return std::clamp<VcId>(raw, 1, num_vcs - 1);
+}
+
+bool VcPolicy::ClassesShareVcs(Port link_direction, LinkMode mode) const {
+  const VcRange rq = AllowedVcs(TrafficClass::kRequest, link_direction, mode);
+  const VcRange rp = AllowedVcs(TrafficClass::kReply, link_direction, mode);
+  const VcId lo = std::max(rq.begin, rp.begin);
+  const VcId hi = std::min(rq.end, rp.end);
+  return lo < hi;
+}
+
+}  // namespace gnoc

@@ -1,0 +1,109 @@
+#include "sim/experiment.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace gnoc {
+
+RunLengths RunLengths::Scaled(double factor) const {
+  RunLengths out;
+  out.warmup = static_cast<Cycle>(static_cast<double>(warmup) * factor);
+  out.measure = static_cast<Cycle>(static_cast<double>(measure) * factor);
+  if (out.warmup < 100) out.warmup = 100;
+  if (out.measure < 500) out.measure = 500;
+  return out;
+}
+
+SweepResult::SweepResult(std::vector<std::string> schemes,
+                         std::vector<std::string> workloads)
+    : schemes_(std::move(schemes)),
+      workloads_(std::move(workloads)),
+      cells_(schemes_.size() * workloads_.size()) {}
+
+std::size_t SweepResult::SchemeIndex(const std::string& scheme) const {
+  for (std::size_t i = 0; i < schemes_.size(); ++i) {
+    if (schemes_[i] == scheme) return i;
+  }
+  throw std::invalid_argument("unknown scheme: '" + scheme + "'");
+}
+
+std::size_t SweepResult::WorkloadIndex(const std::string& workload) const {
+  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+    if (workloads_[i] == workload) return i;
+  }
+  throw std::invalid_argument("unknown workload: '" + workload + "'");
+}
+
+void SweepResult::Set(const std::string& scheme, const std::string& workload,
+                      GpuRunStats stats) {
+  cells_[WorkloadIndex(workload) * schemes_.size() + SchemeIndex(scheme)] =
+      stats;
+}
+
+const GpuRunStats& SweepResult::Get(const std::string& scheme,
+                                    const std::string& workload) const {
+  return cells_[WorkloadIndex(workload) * schemes_.size() +
+                SchemeIndex(scheme)];
+}
+
+double SweepResult::Speedup(const std::string& scheme,
+                            const std::string& workload,
+                            const std::string& baseline_scheme) const {
+  const double base = Get(baseline_scheme, workload).ipc;
+  const double val = Get(scheme, workload).ipc;
+  return base > 0.0 ? val / base : 0.0;
+}
+
+std::vector<double> SweepResult::Speedups(
+    const std::string& scheme, const std::string& baseline_scheme) const {
+  std::vector<double> out;
+  out.reserve(workloads_.size());
+  for (const std::string& w : workloads_) {
+    out.push_back(Speedup(scheme, w, baseline_scheme));
+  }
+  return out;
+}
+
+double SweepResult::GeomeanSpeedup(const std::string& scheme,
+                                   const std::string& baseline_scheme) const {
+  return GeometricMean(Speedups(scheme, baseline_scheme));
+}
+
+SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
+                     const std::vector<WorkloadProfile>& workloads,
+                     const RunLengths& lengths, const ProgressFn& progress) {
+  std::vector<std::string> scheme_names;
+  scheme_names.reserve(schemes.size());
+  for (const auto& s : schemes) scheme_names.push_back(s.label);
+  std::vector<std::string> workload_names;
+  workload_names.reserve(workloads.size());
+  for (const auto& w : workloads) workload_names.push_back(w.name);
+
+  SweepResult result(std::move(scheme_names), std::move(workload_names));
+  const int total = static_cast<int>(schemes.size() * workloads.size());
+  int done = 0;
+  for (const WorkloadProfile& workload : workloads) {
+    for (const SchemeSpec& scheme : schemes) {
+      if (progress) progress(scheme.label, workload.name, done, total);
+      GpuSystem gpu(scheme.config, workload);
+      result.Set(scheme.label, workload.name,
+                 gpu.Run(lengths.warmup, lengths.measure));
+      ++done;
+    }
+  }
+  return result;
+}
+
+const std::vector<WorkloadProfile>& AllWorkloads() { return PaperWorkloads(); }
+
+std::vector<WorkloadProfile> WorkloadSubset(
+    const std::vector<std::string>& names) {
+  std::vector<WorkloadProfile> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) out.push_back(FindWorkload(name));
+  return out;
+}
+
+}  // namespace gnoc

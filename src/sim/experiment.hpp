@@ -1,0 +1,95 @@
+// Experiment harness: runs (configuration x workload) sweeps and computes
+// the normalized-IPC speedups the paper's figures report.
+//
+// Every figure in the evaluation (Figs. 7-10) is "IPC of scheme S on
+// workload W, normalized to IPC of the baseline scheme on W", summarized by
+// the geometric mean over workloads. This module provides exactly that.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpgpu/workload.hpp"
+#include "sim/gpu_config.hpp"
+#include "sim/gpu_system.hpp"
+
+namespace gnoc {
+
+/// Simulation length for one (configuration, workload) run.
+struct RunLengths {
+  Cycle warmup = 3000;
+  Cycle measure = 12000;
+
+  /// Scales both phases (e.g. 0.25 for quick smoke runs).
+  RunLengths Scaled(double factor) const;
+};
+
+/// One configuration under evaluation, with a display label.
+struct SchemeSpec {
+  std::string label;
+  GpuConfig config;
+};
+
+/// Result of one (scheme, workload) run.
+struct CellResult {
+  std::string scheme;
+  std::string workload;
+  GpuRunStats stats;
+};
+
+/// Result matrix of a sweep: one row per workload, one column per scheme.
+class SweepResult {
+ public:
+  SweepResult(std::vector<std::string> schemes,
+              std::vector<std::string> workloads);
+
+  void Set(const std::string& scheme, const std::string& workload,
+           GpuRunStats stats);
+  const GpuRunStats& Get(const std::string& scheme,
+                         const std::string& workload) const;
+
+  const std::vector<std::string>& schemes() const { return schemes_; }
+  const std::vector<std::string>& workloads() const { return workloads_; }
+
+  /// IPC of (scheme, workload) normalized to (baseline_scheme, workload).
+  double Speedup(const std::string& scheme, const std::string& workload,
+                 const std::string& baseline_scheme) const;
+
+  /// Per-workload speedups of `scheme` vs `baseline_scheme`, in workload
+  /// order.
+  std::vector<double> Speedups(const std::string& scheme,
+                               const std::string& baseline_scheme) const;
+
+  /// Geometric-mean speedup over all workloads.
+  double GeomeanSpeedup(const std::string& scheme,
+                        const std::string& baseline_scheme) const;
+
+ private:
+  std::size_t SchemeIndex(const std::string& scheme) const;
+  std::size_t WorkloadIndex(const std::string& workload) const;
+
+  std::vector<std::string> schemes_;
+  std::vector<std::string> workloads_;
+  std::vector<GpuRunStats> cells_;  // [workload][scheme] flattened
+};
+
+/// Progress callback: (scheme label, workload name, cell index, total).
+using ProgressFn =
+    std::function<void(const std::string&, const std::string&, int, int)>;
+
+/// Runs every scheme on every workload. Deterministic: each cell uses the
+/// same seed (from the scheme's config), so two sweeps agree exactly.
+SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
+                     const std::vector<WorkloadProfile>& workloads,
+                     const RunLengths& lengths,
+                     const ProgressFn& progress = nullptr);
+
+/// Convenience: all 25 paper workloads.
+const std::vector<WorkloadProfile>& AllWorkloads();
+
+/// Convenience: a subset of paper workloads by name.
+std::vector<WorkloadProfile> WorkloadSubset(
+    const std::vector<std::string>& names);
+
+}  // namespace gnoc

@@ -1,0 +1,75 @@
+#include "sim/gpu_config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gnoc {
+
+GpuConfig GpuConfig::Baseline() { return GpuConfig{}; }
+
+void GpuConfig::ApplyOverrides(const Config& overrides) {
+  width = static_cast<int>(overrides.GetInt("width", width));
+  height = static_cast<int>(overrides.GetInt("height", height));
+  num_mcs = static_cast<int>(overrides.GetInt("num_mcs", num_mcs));
+  if (overrides.Contains("placement")) {
+    placement = ParseMcPlacement(overrides.GetString("placement"));
+  }
+  if (overrides.Contains("routing")) {
+    routing = ParseRouting(overrides.GetString("routing"));
+  }
+  if (overrides.Contains("vc_policy")) {
+    vc_policy = ParseVcPolicy(overrides.GetString("vc_policy"));
+  }
+  num_vcs = static_cast<int>(overrides.GetInt("num_vcs", num_vcs));
+  vc_depth = static_cast<int>(overrides.GetInt("vc_depth", vc_depth));
+  allow_unsafe = overrides.GetBool("allow_unsafe", allow_unsafe);
+  if (overrides.Contains("division")) {
+    const std::string d = overrides.GetString("division");
+    if (d == "virtual") {
+      division = NetworkDivision::kVirtual;
+    } else if (d == "physical") {
+      division = NetworkDivision::kPhysical;
+    } else {
+      throw std::invalid_argument("division must be virtual|physical");
+    }
+  }
+  atomic_vc_realloc =
+      overrides.GetBool("atomic_vc_realloc", atomic_vc_realloc);
+  record_trace = overrides.GetBool("record_trace", record_trace);
+  ideal_noc = overrides.GetBool("ideal_noc", ideal_noc);
+  mc_inject_flits_per_cycle = static_cast<int>(overrides.GetInt(
+      "mc_inject_bw", mc_inject_flits_per_cycle));
+  if (overrides.Contains("mc_scheduler")) {
+    const std::string sched = overrides.GetString("mc_scheduler");
+    if (sched == "in-order" || sched == "inorder" || sched == "fifo") {
+      mc.scheduler = McScheduler::kInOrder;
+    } else if (sched == "fr-fcfs" || sched == "frfcfs") {
+      mc.scheduler = McScheduler::kFrFcfs;
+    } else {
+      throw std::invalid_argument("mc_scheduler must be in-order|fr-fcfs");
+    }
+  }
+  if (overrides.Contains("arbiter")) {
+    arbiter = ParseArbiterKind(overrides.GetString("arbiter"));
+  }
+  sm.warps_per_sm =
+      static_cast<int>(overrides.GetInt("warps", sm.warps_per_sm));
+  sm.mshr_entries =
+      static_cast<int>(overrides.GetInt("mshr", sm.mshr_entries));
+  sm.use_real_l1 = overrides.GetBool("real_l1", sm.use_real_l1);
+  mc.l2_latency = static_cast<Cycle>(
+      overrides.GetInt("l2_latency", static_cast<std::int64_t>(mc.l2_latency)));
+  seed = static_cast<std::uint64_t>(
+      overrides.GetInt("seed", static_cast<std::int64_t>(seed)));
+}
+
+std::string GpuConfig::Describe() const {
+  std::ostringstream oss;
+  oss << McPlacementName(placement) << " + " << RoutingName(routing) << ", "
+      << VcPolicyName(vc_policy) << ", " << num_vcs << " VCs x depth "
+      << vc_depth;
+  if (division == NetworkDivision::kPhysical) oss << ", dual physical nets";
+  return oss.str();
+}
+
+}  // namespace gnoc

@@ -1,0 +1,82 @@
+// Full-system configuration matching the paper's Table 2, plus the NoC
+// design-space knobs the paper sweeps (routing, VC policy, MC placement).
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "gpgpu/mc.hpp"
+#include "gpgpu/sm.hpp"
+#include "noc/network.hpp"
+#include "noc/placement.hpp"
+
+namespace gnoc {
+
+/// How the request/reply classes are separated (paper Sec. 4.2, "Impact of
+/// Network Division"): one physical network with VCs divided virtually (the
+/// paper's choice) or two parallel physical networks (prior work [11]).
+enum class NetworkDivision : std::uint8_t {
+  kVirtual = 0,
+  kPhysical = 1,
+};
+
+/// Everything needed to build a GpuSystem.
+struct GpuConfig {
+  // --- mesh & placement (Table 2: 8x8 2D mesh, 8 MCs at the bottom) ---
+  int width = 8;
+  int height = 8;
+  int num_mcs = 8;
+  McPlacement placement = McPlacement::kBottom;
+
+  // --- NoC (Table 2: 2 VCs/port, depth 4, XY routing baseline) ---
+  RoutingAlgorithm routing = RoutingAlgorithm::kXY;
+  VcPolicyKind vc_policy = VcPolicyKind::kSplit;
+  int num_vcs = 2;
+  int vc_depth = 4;
+  Cycle link_latency = 1;
+  int inject_queue_capacity = 16;
+  int eject_capacity = 32;
+  /// Conservative (atomic) VC reallocation; see RouterConfig.
+  bool atomic_vc_realloc = true;
+  /// Epoch of the dynamic-partitioning feedback loop (kDynamic only).
+  Cycle dynamic_epoch = 512;
+  /// Arbiter microarchitecture for the VA/SA stages.
+  ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+
+  /// Refuse provably protocol-deadlock-unsafe (placement, routing, policy)
+  /// combinations at construction (see noc/deadlock.hpp).
+  bool allow_unsafe = false;
+
+  /// Virtual (single physical network, default) vs physical division.
+  NetworkDivision division = NetworkDivision::kVirtual;
+
+  /// Record every injected packet (GpuSystem::trace(), noc/trace.hpp).
+  bool record_trace = false;
+
+  /// Replace the NoC with a contention-free ideal interconnect (upper
+  /// bound; routing/VC settings are ignored).
+  bool ideal_noc = false;
+
+  /// Injection bandwidth (flits/cycle) of the MC NICs. Prior work [3, 11]
+  /// provisions 2x injection bandwidth at the few MCs for burst replies;
+  /// 1 matches the paper's symmetric baseline.
+  int mc_inject_flits_per_cycle = 1;
+
+  // --- cores & memory (Table 2) ---
+  SmConfig sm;
+  McConfig mc;
+
+  std::uint64_t seed = 0xC0FFEE;
+
+  /// The paper's baseline: bottom MCs, XY routing, 2 VCs split 1:1.
+  static GpuConfig Baseline();
+
+  /// Applies "key=value" overrides (keys: width, height, num_mcs, placement,
+  /// routing, vc_policy, num_vcs, vc_depth, warps, mshr, seed, ...).
+  void ApplyOverrides(const Config& overrides);
+
+  /// One-line description, e.g. "bottom + XY-YX, partial-monopolize, 2 VCs".
+  std::string Describe() const;
+};
+
+}  // namespace gnoc

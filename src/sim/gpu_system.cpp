@@ -1,0 +1,143 @@
+#include "sim/gpu_system.hpp"
+
+#include "noc/ideal.hpp"
+
+#include <cassert>
+
+namespace gnoc {
+
+GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
+    : config_(config),
+      workload_(workload),
+      plan_(config.width, config.height, config.num_mcs, config.placement) {
+  // Fail fast on protocol-deadlock-unsafe configurations (Sec. 3.2.1).
+  // The ideal interconnect has no VCs, so nothing to validate there.
+  if (!config_.ideal_noc) {
+    ValidatePolicyOrThrow(plan_, config_.routing, config_.vc_policy,
+                          config_.allow_unsafe);
+  }
+
+  NetworkConfig net;
+  net.width = config_.width;
+  net.height = config_.height;
+  net.num_vcs = config_.num_vcs;
+  net.vc_depth = config_.vc_depth;
+  net.routing = config_.routing;
+  net.vc_policy = config_.vc_policy;
+  net.link_latency = config_.link_latency;
+  net.inject_queue_capacity = config_.inject_queue_capacity;
+  net.eject_capacity = config_.eject_capacity;
+  net.atomic_vc_realloc = config_.atomic_vc_realloc;
+  net.dynamic_epoch = config_.dynamic_epoch;
+  net.arbiter = config_.arbiter;
+  if (config_.ideal_noc) {
+    IdealFabricConfig ideal;
+    ideal.width = config_.width;
+    ideal.height = config_.height;
+    fabric_ = std::make_unique<IdealFabric>(ideal);
+  } else if (config_.division == NetworkDivision::kPhysical) {
+    fabric_ = std::make_unique<DualNetworkFabric>(net);
+  } else {
+    auto single = std::make_unique<SingleNetworkFabric>(net);
+    // Distribute the static per-link class analysis so link-aware partial
+    // monopolizing knows which links are single-class.
+    single->net(TrafficClass::kRequest)
+        .ConfigureLinkModes(AnalyzeLinkUsage(plan_, config_.routing));
+    fabric_ = std::move(single);
+  }
+  if (config_.record_trace) {
+    recorder_ = std::make_unique<RecordingFabric>(fabric_.get());
+    xport_ = recorder_.get();
+  } else {
+    xport_ = fabric_.get();
+  }
+
+  Rng master(config_.seed);
+  SmConfig sm_cfg = config_.sm;
+  sm_cfg.sizes.write_request = workload_.write_request_flits;
+
+  for (NodeId node : plan_.core_nodes()) {
+    auto sm = std::make_unique<StreamingMultiprocessor>(
+        node, sm_cfg, workload_, xport_, config_.num_mcs,
+        master.Fork());
+    sm->SetMcNodes(plan_.mc_nodes());
+    xport_->SetSink(node, sm.get());
+    sms_.push_back(std::move(sm));
+  }
+  for (NodeId node : plan_.mc_nodes()) {
+    auto mc = std::make_unique<MemoryController>(node, config_.mc,
+                                                 xport_);
+    xport_->SetSink(node, mc.get());
+    if (!config_.ideal_noc && config_.mc_inject_flits_per_cycle > 1) {
+      // Prior-work option [3, 11]: extra injection bandwidth at the few
+      // MCs, applied to the network that carries their reply traffic.
+      xport_->net(TrafficClass::kReply)
+          .nic(node)
+          .SetInjectFlitsPerCycle(config_.mc_inject_flits_per_cycle);
+    }
+    mcs_.push_back(std::move(mc));
+  }
+}
+
+void GpuSystem::Tick() {
+  const Cycle now = xport_->now();
+  for (auto& sm : sms_) sm->Tick(now);
+  for (auto& mc : mcs_) mc->Tick(now);
+  xport_->Tick();
+}
+
+void GpuSystem::ResetStats() {
+  xport_->ResetStats();
+  for (auto& sm : sms_) sm->ResetStats();
+  for (auto& mc : mcs_) mc->ResetStats();
+  measured_since_ = xport_->now();
+}
+
+GpuRunStats GpuSystem::Run(Cycle warmup, Cycle measure) {
+  for (Cycle c = 0; c < warmup; ++c) Tick();
+  ResetStats();
+  for (Cycle c = 0; c < measure; ++c) {
+    Tick();
+    if (xport_->Deadlocked()) break;
+  }
+  return Measure();
+}
+
+GpuRunStats GpuSystem::Measure() const {
+  GpuRunStats out;
+  out.cycles = xport_->now() - measured_since_;
+  for (const auto& sm : sms_) out.instructions += sm->stats().instructions;
+  out.ipc = out.cycles == 0 ? 0.0
+                            : static_cast<double>(out.instructions) /
+                                  static_cast<double>(out.cycles);
+  out.network = xport_->Summarize();
+  out.network.cycles = out.cycles;
+  out.packets_by_type = xport_->PacketsByType();
+  out.request_flits = out.network.flits_injected[static_cast<std::size_t>(
+      ClassIndex(TrafficClass::kRequest))];
+  out.reply_flits = out.network.flits_injected[static_cast<std::size_t>(
+      ClassIndex(TrafficClass::kReply))];
+
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  double row_hit_sum = 0.0;
+  for (const auto& mc : mcs_) {
+    l2_hits += mc->stats().l2_read_hits;
+    l2_misses += mc->stats().l2_read_misses;
+    row_hit_sum += mc->dram_stats().row_hit_rate();
+  }
+  out.l2_miss_rate =
+      (l2_hits + l2_misses) == 0
+          ? 0.0
+          : static_cast<double>(l2_misses) /
+                static_cast<double>(l2_hits + l2_misses);
+  out.dram_row_hit_rate = mcs_.empty() ? 0.0 : row_hit_sum / mcs_.size();
+
+  RunningStats read_latency;
+  for (const auto& sm : sms_) read_latency.Merge(sm->stats().read_latency);
+  out.avg_read_latency = read_latency.mean();
+  out.deadlocked = xport_->Deadlocked();
+  return out;
+}
+
+}  // namespace gnoc

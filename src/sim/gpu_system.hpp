@@ -1,0 +1,105 @@
+// The assembled GPGPU: 56 SMs + 8 MCs on an 8x8 mesh NoC (Table 2),
+// running one synthetic workload profile.
+//
+// This is the top-level object the examples and benchmark harnesses drive:
+//
+//   GpuConfig cfg = GpuConfig::Baseline();
+//   GpuSystem gpu(cfg, FindWorkload("BFS"));
+//   gpu.Run(/*warmup=*/2000, /*measure=*/10000);
+//   std::cout << gpu.Ipc();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpgpu/mc.hpp"
+#include "gpgpu/sm.hpp"
+#include "gpgpu/workload.hpp"
+#include "noc/deadlock.hpp"
+#include "noc/fabric.hpp"
+#include "noc/network.hpp"
+#include "noc/trace.hpp"
+#include "noc/placement.hpp"
+#include "sim/gpu_config.hpp"
+
+namespace gnoc {
+
+/// Measurement results of one run (collected after warm-up).
+struct GpuRunStats {
+  double ipc = 0.0;  ///< issued warp instructions per cycle (whole chip)
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  NetworkSummary network;
+  /// Injected packets per type, summed over all NICs.
+  std::array<std::uint64_t, kNumPacketTypes> packets_by_type{};
+  /// Flits injected per class.
+  std::uint64_t request_flits = 0;
+  std::uint64_t reply_flits = 0;
+  double l2_miss_rate = 0.0;
+  double dram_row_hit_rate = 0.0;
+  double avg_read_latency = 0.0;  ///< SM-observed round trip
+  bool deadlocked = false;
+};
+
+class GpuSystem {
+ public:
+  /// Builds the system. Throws std::invalid_argument when the configuration
+  /// is protocol-deadlock unsafe and `config.allow_unsafe` is false.
+  GpuSystem(const GpuConfig& config, const WorkloadProfile& workload);
+
+  GpuSystem(const GpuSystem&) = delete;
+  GpuSystem& operator=(const GpuSystem&) = delete;
+
+  const GpuConfig& config() const { return config_; }
+  const WorkloadProfile& workload() const { return workload_; }
+  const TilePlan& plan() const { return plan_; }
+  /// The transport (one or two physical networks, per config().division),
+  /// wrapped in a trace recorder when config().record_trace is set.
+  Fabric& fabric() { return *xport_; }
+  const Fabric& fabric() const { return *xport_; }
+
+  /// The recorded injection trace, or nullptr when recording is off.
+  const TraceWriter* trace() const {
+    return recorder_ ? &recorder_->trace() : nullptr;
+  }
+  /// The physical network carrying request traffic (the only network under
+  /// virtual division) — convenience for link-level introspection.
+  Network& network() { return xport_->net(TrafficClass::kRequest); }
+  const Network& network() const {
+    return xport_->net(TrafficClass::kRequest);
+  }
+
+  /// Advances one cycle (SMs issue, MCs service, network moves flits).
+  void Tick();
+
+  /// Runs `warmup` cycles, resets statistics, then runs `measure` cycles.
+  /// Returns the measured statistics (also available via Measure()).
+  GpuRunStats Run(Cycle warmup, Cycle measure);
+
+  /// Collects statistics for the cycles elapsed since the last ResetStats.
+  GpuRunStats Measure() const;
+
+  /// Clears every statistics counter (simulation state is untouched).
+  void ResetStats();
+
+  Cycle now() const { return xport_->now(); }
+
+  /// Access to individual models (tests, detailed analysis).
+  const StreamingMultiprocessor& sm(std::size_t i) const { return *sms_.at(i); }
+  std::size_t num_sms() const { return sms_.size(); }
+  const MemoryController& mc(std::size_t i) const { return *mcs_.at(i); }
+  std::size_t num_mcs() const { return mcs_.size(); }
+
+ private:
+  GpuConfig config_;
+  WorkloadProfile workload_;
+  TilePlan plan_;
+  std::unique_ptr<Fabric> fabric_;            ///< owned transport
+  std::unique_ptr<RecordingFabric> recorder_;  ///< optional trace decorator
+  Fabric* xport_ = nullptr;                   ///< what everything talks to
+  std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
+  std::vector<std::unique_ptr<MemoryController>> mcs_;
+  Cycle measured_since_ = 0;
+};
+
+}  // namespace gnoc

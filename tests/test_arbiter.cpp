@@ -1,0 +1,85 @@
+// Unit tests for round-robin and matrix arbiters.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "noc/arbiter.hpp"
+
+namespace gnoc {
+namespace {
+
+TEST(RoundRobinTest, NoRequestsNoGrant) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.Arbitrate({false, false, false, false}), -1);
+}
+
+TEST(RoundRobinTest, SingleRequesterAlwaysWins) {
+  RoundRobinArbiter arb(4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(arb.Arbitrate({false, false, true, false}), 2);
+  }
+}
+
+TEST(RoundRobinTest, RotatesAmongContenders) {
+  RoundRobinArbiter arb(3);
+  const std::vector<bool> all{true, true, true};
+  EXPECT_EQ(arb.Arbitrate(all), 0);
+  EXPECT_EQ(arb.Arbitrate(all), 1);
+  EXPECT_EQ(arb.Arbitrate(all), 2);
+  EXPECT_EQ(arb.Arbitrate(all), 0);
+}
+
+TEST(RoundRobinTest, PointerSkipsIdleInputs) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.Arbitrate({true, false, false, true}), 0);
+  // Pointer now at 1; inputs 1,2 idle so 3 wins.
+  EXPECT_EQ(arb.Arbitrate({true, false, false, true}), 3);
+  EXPECT_EQ(arb.Arbitrate({true, false, false, true}), 0);
+}
+
+TEST(RoundRobinTest, FairnessUnderSaturation) {
+  RoundRobinArbiter arb(4);
+  std::map<int, int> wins;
+  for (int i = 0; i < 400; ++i) {
+    wins[arb.Arbitrate({true, true, true, true})]++;
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(wins[i], 100);
+}
+
+TEST(MatrixTest, GrantsLeastRecentlyServed) {
+  MatrixArbiter arb(3);
+  const std::vector<bool> all{true, true, true};
+  const int first = arb.Arbitrate(all);
+  const int second = arb.Arbitrate(all);
+  const int third = arb.Arbitrate(all);
+  EXPECT_NE(first, second);
+  EXPECT_NE(second, third);
+  EXPECT_NE(first, third);
+  // After serving everyone once, the first requester is least recent again.
+  EXPECT_EQ(arb.Arbitrate(all), first);
+}
+
+TEST(MatrixTest, NoRequestsNoGrant) {
+  MatrixArbiter arb(2);
+  EXPECT_EQ(arb.Arbitrate({false, false}), -1);
+}
+
+TEST(MatrixTest, FairnessUnderSaturation) {
+  MatrixArbiter arb(4);
+  std::map<int, int> wins;
+  for (int i = 0; i < 400; ++i) {
+    wins[arb.Arbitrate({true, true, true, true})]++;
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(wins[i], 100);
+}
+
+TEST(MatrixTest, RecentWinnerLosesTies) {
+  MatrixArbiter arb(2);
+  EXPECT_EQ(arb.Arbitrate({true, true}), 0);
+  EXPECT_EQ(arb.Arbitrate({true, true}), 1);
+  // 1 just won; 0 must win the tie.
+  EXPECT_EQ(arb.Arbitrate({true, true}), 0);
+}
+
+}  // namespace
+}  // namespace gnoc

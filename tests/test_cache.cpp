@@ -1,0 +1,123 @@
+// Unit tests for the set-associative write-back cache.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gpgpu/cache.hpp"
+
+namespace gnoc {
+namespace {
+
+CacheConfig Small() { return CacheConfig{1024, 64, 2}; }  // 8 sets x 2 ways
+
+TEST(CacheTest, Geometry) {
+  SetAssocCache cache(Small());
+  EXPECT_EQ(cache.num_sets(), 8u);
+  EXPECT_EQ(cache.ways(), 2u);
+  EXPECT_EQ(cache.line_bytes(), 64u);
+}
+
+TEST(CacheTest, ColdMissThenHit) {
+  SetAssocCache cache(Small());
+  EXPECT_FALSE(cache.Access(0x1000, false).hit);
+  EXPECT_TRUE(cache.Access(0x1000, false).hit);
+  EXPECT_TRUE(cache.Access(0x1000 + 63, false).hit) << "same line";
+  EXPECT_FALSE(cache.Access(0x1000 + 64, false).hit) << "next line";
+  EXPECT_EQ(cache.stats().read_hits, 2u);
+  EXPECT_EQ(cache.stats().read_misses, 2u);
+}
+
+TEST(CacheTest, LruEviction) {
+  SetAssocCache cache(Small());
+  // Three lines mapping to the same set (stride = sets * line = 512).
+  cache.Access(0x0000, false);
+  cache.Access(0x0200, false);
+  cache.Access(0x0000, false);  // refresh LRU of line 0
+  cache.Access(0x0400, false);  // evicts 0x0200 (least recent)
+  EXPECT_TRUE(cache.Probe(0x0000));
+  EXPECT_FALSE(cache.Probe(0x0200));
+  EXPECT_TRUE(cache.Probe(0x0400));
+}
+
+TEST(CacheTest, DirtyEvictionReportsWriteback) {
+  SetAssocCache cache(Small());
+  cache.Access(0x0000, true);  // dirty
+  cache.Access(0x0200, false);
+  const auto result = cache.Access(0x0400, false);  // evicts dirty 0x0000
+  EXPECT_TRUE(result.writeback);
+  EXPECT_EQ(result.writeback_addr, 0x0000u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, CleanEvictionHasNoWriteback) {
+  SetAssocCache cache(Small());
+  cache.Access(0x0000, false);
+  cache.Access(0x0200, false);
+  const auto result = cache.Access(0x0400, false);
+  EXPECT_FALSE(result.writeback);
+}
+
+TEST(CacheTest, WriteHitMarksDirty) {
+  SetAssocCache cache(Small());
+  cache.Access(0x0000, false);  // clean
+  cache.Access(0x0000, true);   // now dirty
+  cache.Access(0x0200, false);
+  const auto result = cache.Access(0x0400, false);
+  EXPECT_TRUE(result.writeback);
+}
+
+TEST(CacheTest, FlushDropsEverything) {
+  SetAssocCache cache(Small());
+  cache.Access(0x0000, true);
+  cache.Flush();
+  EXPECT_FALSE(cache.Probe(0x0000));
+  EXPECT_FALSE(cache.Access(0x0000, false).hit);
+}
+
+TEST(CacheTest, WorkingSetSmallerThanCacheHasNoCapacityMisses) {
+  SetAssocCache cache(CacheConfig{64 * 1024, 64, 8});
+  // 512 lines < 1024-line capacity: after one pass, everything hits.
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int line = 0; line < 512; ++line) {
+      cache.Access(static_cast<std::uint64_t>(line) * 64, false);
+    }
+  }
+  EXPECT_EQ(cache.stats().read_misses, 512u);
+  EXPECT_EQ(cache.stats().read_hits, 1024u);
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes) {
+  SetAssocCache cache(CacheConfig{64 * 1024, 64, 8});
+  // 4096 lines streaming >> 1024-line capacity: LRU evicts everything
+  // before reuse, so every access misses.
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int line = 0; line < 4096; ++line) {
+      cache.Access(static_cast<std::uint64_t>(line) * 64, false);
+    }
+  }
+  EXPECT_EQ(cache.stats().read_hits, 0u);
+  EXPECT_EQ(cache.stats().read_misses, 8192u);
+}
+
+TEST(CacheTest, RandomizedProbeConsistency) {
+  // Property: Probe() agrees with a shadow model of most-recent residency.
+  SetAssocCache cache(CacheConfig{512, 64, 2});  // tiny: 4 sets x 2 ways
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t addr = rng.NextBounded(64) * 64;
+    const bool hit_before = cache.Probe(addr);
+    const auto result = cache.Access(addr, rng.Bernoulli(0.3));
+    EXPECT_EQ(result.hit, hit_before) << "Access/Probe disagree";
+    EXPECT_TRUE(cache.Probe(addr)) << "line must be resident after access";
+  }
+}
+
+TEST(CacheStatsTest, MissRate) {
+  CacheStats stats;
+  EXPECT_DOUBLE_EQ(stats.miss_rate(), 0.0);
+  stats.read_hits = 3;
+  stats.read_misses = 1;
+  EXPECT_DOUBLE_EQ(stats.miss_rate(), 0.25);
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -1,0 +1,102 @@
+// Unit tests for the banked DRAM timing model.
+#include <gtest/gtest.h>
+
+#include "gpgpu/dram.hpp"
+
+namespace gnoc {
+namespace {
+
+DramConfig Cfg() {
+  DramConfig cfg;
+  cfg.num_banks = 4;
+  cfg.row_hit_latency = 50;
+  cfg.row_miss_latency = 100;
+  cfg.bank_occupancy = 8;
+  cfg.row_bytes = 1024;
+  return cfg;
+}
+
+TEST(DramTest, FirstAccessIsRowMiss) {
+  DramModel dram(Cfg());
+  EXPECT_EQ(dram.Schedule(0, false, 10), 10u + 100u);
+  EXPECT_EQ(dram.stats().row_hits, 0u);
+}
+
+TEST(DramTest, SameRowHitsAreFaster) {
+  DramModel dram(Cfg());
+  dram.Schedule(0, false, 0);
+  // Next line in the same row: row hit, but waits for bank occupancy.
+  const Cycle done = dram.Schedule(64, false, 0);
+  EXPECT_EQ(done, 8u + 50u);  // starts when bank frees at cycle 8
+  EXPECT_EQ(dram.stats().row_hits, 1u);
+}
+
+TEST(DramTest, DifferentRowSameBankIsMissAgain) {
+  DramConfig cfg = Cfg();
+  DramModel dram(cfg);
+  dram.Schedule(0, false, 0);
+  // Same bank, different row: rows interleave across banks at row
+  // granularity, so row k and row k+num_banks share a bank.
+  const std::uint64_t same_bank_other_row =
+      static_cast<std::uint64_t>(cfg.num_banks) * cfg.row_bytes;
+  const Cycle done = dram.Schedule(same_bank_other_row, false, 0);
+  EXPECT_EQ(done, 8u + 100u);
+  EXPECT_EQ(dram.stats().row_hits, 0u);
+}
+
+TEST(DramTest, BanksOperateInParallel) {
+  DramModel dram(Cfg());
+  const Cycle a = dram.Schedule(0, false, 0);          // bank 0
+  const Cycle b = dram.Schedule(1024, false, 0);       // bank 1
+  EXPECT_EQ(a, 100u);
+  EXPECT_EQ(b, 100u) << "different banks must not serialize";
+}
+
+TEST(DramTest, SameBankSerializes) {
+  DramModel dram(Cfg());
+  dram.Schedule(0, false, 0);
+  dram.Schedule(64, false, 0);
+  dram.Schedule(128, false, 0);
+  // Third access to the same bank starts at cycle 16.
+  EXPECT_EQ(dram.BankReadyAt(192), 24u);
+  EXPECT_GT(dram.stats().bank_wait_cycles, 0u);
+}
+
+TEST(DramTest, ReadsAndWritesCounted) {
+  DramModel dram(Cfg());
+  dram.Schedule(0, false, 0);
+  dram.Schedule(1024, true, 0);
+  EXPECT_EQ(dram.stats().reads, 1u);
+  EXPECT_EQ(dram.stats().writes, 1u);
+  EXPECT_EQ(dram.stats().accesses, 2u);
+}
+
+TEST(DramTest, SequentialStreamHasHighRowHitRate) {
+  DramModel dram(Cfg());
+  for (int i = 0; i < 64; ++i) {
+    dram.Schedule(static_cast<std::uint64_t>(i) * 64, false,
+                  static_cast<Cycle>(i * 10));
+  }
+  // 1024-byte rows hold 16 lines: 4 row misses out of 64 accesses.
+  EXPECT_GT(dram.stats().row_hit_rate(), 0.9);
+}
+
+TEST(DramTest, RandomStreamHasLowRowHitRate) {
+  DramModel dram(Cfg());
+  std::uint64_t addr = 12345;
+  for (int i = 0; i < 200; ++i) {
+    addr = addr * 6364136223846793005ull + 1442695040888963407ull;
+    dram.Schedule(addr % (1 << 26), false, static_cast<Cycle>(i * 10));
+  }
+  EXPECT_LT(dram.stats().row_hit_rate(), 0.2);
+}
+
+TEST(DramTest, ResetStatsClearsCounters) {
+  DramModel dram(Cfg());
+  dram.Schedule(0, false, 0);
+  dram.ResetStats();
+  EXPECT_EQ(dram.stats().accesses, 0u);
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -1,0 +1,83 @@
+// Tests for the sweep/speedup harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/experiment.hpp"
+
+namespace gnoc {
+namespace {
+
+TEST(RunLengthsTest, ScalingClampsToMinimums) {
+  RunLengths lengths;
+  lengths.warmup = 3000;
+  lengths.measure = 12000;
+  const RunLengths half = lengths.Scaled(0.5);
+  EXPECT_EQ(half.warmup, 1500u);
+  EXPECT_EQ(half.measure, 6000u);
+  const RunLengths tiny = lengths.Scaled(0.0001);
+  EXPECT_EQ(tiny.warmup, 100u);
+  EXPECT_EQ(tiny.measure, 500u);
+}
+
+TEST(SweepResultTest, SetGetAndSpeedups) {
+  SweepResult result({"base", "fast"}, {"W1", "W2"});
+  GpuRunStats s;
+  s.ipc = 2.0;
+  result.Set("base", "W1", s);
+  s.ipc = 3.0;
+  result.Set("fast", "W1", s);
+  s.ipc = 4.0;
+  result.Set("base", "W2", s);
+  s.ipc = 4.0;
+  result.Set("fast", "W2", s);
+
+  EXPECT_DOUBLE_EQ(result.Get("fast", "W1").ipc, 3.0);
+  EXPECT_DOUBLE_EQ(result.Speedup("fast", "W1", "base"), 1.5);
+  EXPECT_DOUBLE_EQ(result.Speedup("fast", "W2", "base"), 1.0);
+  const auto speedups = result.Speedups("fast", "base");
+  ASSERT_EQ(speedups.size(), 2u);
+  EXPECT_DOUBLE_EQ(speedups[0], 1.5);
+  EXPECT_DOUBLE_EQ(speedups[1], 1.0);
+  EXPECT_NEAR(result.GeomeanSpeedup("fast", "base"), std::sqrt(1.5), 1e-12);
+  EXPECT_THROW(result.Get("nope", "W1"), std::invalid_argument);
+  EXPECT_THROW(result.Get("base", "nope"), std::invalid_argument);
+}
+
+TEST(SweepTest, RunsAllCellsAndReportsProgress) {
+  GpuConfig base = GpuConfig::Baseline();
+  GpuConfig yx = base;
+  yx.routing = RoutingAlgorithm::kYX;
+  const std::vector<SchemeSpec> schemes{{"XY", base}, {"YX", yx}};
+  const auto workloads = WorkloadSubset({"NQU", "BFS"});
+
+  int progress_calls = 0;
+  RunLengths lengths;
+  lengths.warmup = 300;
+  lengths.measure = 1500;
+  const SweepResult result =
+      RunSweep(schemes, workloads, lengths,
+               [&](const std::string&, const std::string&, int, int total) {
+                 ++progress_calls;
+                 EXPECT_EQ(total, 4);
+               });
+  EXPECT_EQ(progress_calls, 4);
+  for (const auto& s : {"XY", "YX"}) {
+    for (const auto& w : {"NQU", "BFS"}) {
+      EXPECT_GT(result.Get(s, w).ipc, 0.0) << s << "/" << w;
+    }
+  }
+  // Self-speedup is exactly 1.
+  EXPECT_DOUBLE_EQ(result.GeomeanSpeedup("XY", "XY"), 1.0);
+}
+
+TEST(SweepTest, WorkloadSubsetThrowsOnUnknown) {
+  EXPECT_THROW(WorkloadSubset({"BFS", "BOGUS"}), std::invalid_argument);
+}
+
+TEST(SweepTest, AllWorkloadsIsThePaperSuite) {
+  EXPECT_EQ(AllWorkloads().size(), 25u);
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -1,0 +1,106 @@
+// Tests for GpuConfig defaults (Table 2) and command-line overrides.
+#include <gtest/gtest.h>
+
+#include "sim/gpu_config.hpp"
+
+namespace gnoc {
+namespace {
+
+TEST(GpuConfigTest, BaselineMatchesTable2) {
+  const GpuConfig cfg = GpuConfig::Baseline();
+  EXPECT_EQ(cfg.width, 8);
+  EXPECT_EQ(cfg.height, 8);
+  EXPECT_EQ(cfg.num_mcs, 8);
+  EXPECT_EQ(cfg.placement, McPlacement::kBottom);
+  EXPECT_EQ(cfg.routing, RoutingAlgorithm::kXY);
+  EXPECT_EQ(cfg.vc_policy, VcPolicyKind::kSplit);
+  EXPECT_EQ(cfg.num_vcs, 2);
+  EXPECT_EQ(cfg.vc_depth, 4);
+  EXPECT_EQ(cfg.division, NetworkDivision::kVirtual);
+  EXPECT_FALSE(cfg.ideal_noc);
+  EXPECT_FALSE(cfg.record_trace);
+  EXPECT_EQ(cfg.mc.scheduler, McScheduler::kInOrder);
+  // L2 slice per MC: 64KB, 8-way (Table 2); L1: 16KB, 4-way.
+  EXPECT_EQ(cfg.mc.l2.size_bytes, 64u * 1024u);
+  EXPECT_EQ(cfg.mc.l2.ways, 8u);
+  EXPECT_EQ(cfg.sm.l1.size_bytes, 16u * 1024u);
+  EXPECT_EQ(cfg.sm.l1.ways, 4u);
+}
+
+TEST(GpuConfigTest, OverridesApply) {
+  Config args;
+  args.Set("placement", "diamond");
+  args.Set("routing", "xy-yx");
+  args.Set("vc_policy", "asym");
+  args.SetInt("num_vcs", 4);
+  args.SetInt("vc_depth", 8);
+  args.Set("division", "physical");
+  args.SetBool("allow_unsafe", true);
+  args.SetBool("record_trace", true);
+  args.SetBool("ideal_noc", true);
+  args.SetBool("real_l1", true);
+  args.Set("arbiter", "matrix");
+  args.Set("mc_scheduler", "fr-fcfs");
+  args.SetInt("mc_inject_bw", 2);
+  args.SetInt("warps", 48);
+  args.SetInt("seed", 99);
+
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.ApplyOverrides(args);
+  EXPECT_EQ(cfg.placement, McPlacement::kDiamond);
+  EXPECT_EQ(cfg.routing, RoutingAlgorithm::kXYYX);
+  EXPECT_EQ(cfg.vc_policy, VcPolicyKind::kAsymmetric);
+  EXPECT_EQ(cfg.num_vcs, 4);
+  EXPECT_EQ(cfg.vc_depth, 8);
+  EXPECT_EQ(cfg.division, NetworkDivision::kPhysical);
+  EXPECT_TRUE(cfg.allow_unsafe);
+  EXPECT_TRUE(cfg.record_trace);
+  EXPECT_TRUE(cfg.ideal_noc);
+  EXPECT_TRUE(cfg.sm.use_real_l1);
+  EXPECT_EQ(cfg.arbiter, ArbiterKind::kMatrix);
+  EXPECT_EQ(cfg.mc.scheduler, McScheduler::kFrFcfs);
+  EXPECT_EQ(cfg.mc_inject_flits_per_cycle, 2);
+  EXPECT_EQ(cfg.sm.warps_per_sm, 48);
+  EXPECT_EQ(cfg.seed, 99u);
+}
+
+TEST(GpuConfigTest, AbsentOverridesKeepDefaults) {
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.ApplyOverrides(Config{});
+  const GpuConfig fresh = GpuConfig::Baseline();
+  EXPECT_EQ(cfg.placement, fresh.placement);
+  EXPECT_EQ(cfg.routing, fresh.routing);
+  EXPECT_EQ(cfg.num_vcs, fresh.num_vcs);
+  EXPECT_EQ(cfg.seed, fresh.seed);
+}
+
+TEST(GpuConfigTest, MalformedOverridesThrow) {
+  GpuConfig cfg = GpuConfig::Baseline();
+  Config bad_placement;
+  bad_placement.Set("placement", "center");
+  EXPECT_THROW(cfg.ApplyOverrides(bad_placement), std::invalid_argument);
+  Config bad_division;
+  bad_division.Set("division", "triple");
+  EXPECT_THROW(cfg.ApplyOverrides(bad_division), std::invalid_argument);
+  Config bad_sched;
+  bad_sched.Set("mc_scheduler", "oracle");
+  EXPECT_THROW(cfg.ApplyOverrides(bad_sched), std::invalid_argument);
+  Config bad_arbiter;
+  bad_arbiter.Set("arbiter", "priority");
+  EXPECT_THROW(cfg.ApplyOverrides(bad_arbiter), std::invalid_argument);
+}
+
+TEST(GpuConfigTest, DescribeNamesTheDesignPoint) {
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.routing = RoutingAlgorithm::kYX;
+  cfg.vc_policy = VcPolicyKind::kFullMonopolize;
+  const std::string desc = cfg.Describe();
+  EXPECT_NE(desc.find("bottom"), std::string::npos);
+  EXPECT_NE(desc.find("YX"), std::string::npos);
+  EXPECT_NE(desc.find("full-monopolize"), std::string::npos);
+  cfg.division = NetworkDivision::kPhysical;
+  EXPECT_NE(cfg.Describe().find("dual physical"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnoc

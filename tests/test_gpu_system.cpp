@@ -1,0 +1,185 @@
+// Integration tests of the full GPGPU system (56 SMs + 8 MCs on an 8x8
+// mesh) — including the paper's qualitative headline results.
+#include <gtest/gtest.h>
+
+#include "gpgpu/workload.hpp"
+#include "sim/gpu_system.hpp"
+
+namespace gnoc {
+namespace {
+
+GpuRunStats RunConfig(RoutingAlgorithm routing, VcPolicyKind policy,
+                      const std::string& workload, McPlacement placement =
+                                                       McPlacement::kBottom,
+                      int num_vcs = 2) {
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.routing = routing;
+  cfg.vc_policy = policy;
+  cfg.placement = placement;
+  cfg.num_vcs = num_vcs;
+  GpuSystem gpu(cfg, FindWorkload(workload));
+  return gpu.Run(/*warmup=*/1500, /*measure=*/6000);
+}
+
+TEST(GpuSystemTest, BaselineRunsDeadlockFree) {
+  const auto stats = RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit,
+                               "BFS");
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_GT(stats.ipc, 0.0);
+  EXPECT_GT(stats.instructions, 0u);
+  EXPECT_GT(stats.request_flits, 0u);
+  EXPECT_GT(stats.reply_flits, 0u);
+}
+
+TEST(GpuSystemTest, ComputeBoundWorkloadSaturatesIssue) {
+  // CP barely touches memory: all 56 SMs issue nearly every cycle.
+  const auto stats = RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit,
+                               "CP");
+  EXPECT_GT(stats.ipc, 50.0);
+}
+
+TEST(GpuSystemTest, MemoryBoundWorkloadIsNocLimited) {
+  const auto stats = RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit,
+                               "KMN");
+  EXPECT_LT(stats.ipc, 25.0) << "KMN must be far from the 56-issue ceiling";
+}
+
+TEST(GpuSystemTest, ReplyTrafficDominates) {
+  // Fig. 2: reply flit volume ~2x request volume for read-dominated apps.
+  const auto stats = RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit,
+                               "SCL");
+  const double ratio = static_cast<double>(stats.reply_flits) /
+                       static_cast<double>(stats.request_flits);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.5);
+}
+
+TEST(GpuSystemTest, RayIsRequestHeavy) {
+  // Fig. 2: RAY is the exception with more request than reply flits.
+  const auto stats = RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit,
+                               "RAY");
+  EXPECT_GT(stats.request_flits, stats.reply_flits);
+}
+
+TEST(GpuSystemTest, UnsafeConfigurationThrows) {
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.routing = RoutingAlgorithm::kXYYX;
+  cfg.vc_policy = VcPolicyKind::kFullMonopolize;  // unsafe: classes mix
+  EXPECT_THROW(GpuSystem(cfg, FindWorkload("BFS")), std::invalid_argument);
+  cfg.allow_unsafe = true;
+  EXPECT_NO_THROW(GpuSystem(cfg, FindWorkload("BFS")));
+}
+
+TEST(GpuSystemTest, DiamondMonopolizeThrows) {
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.placement = McPlacement::kDiamond;
+  cfg.vc_policy = VcPolicyKind::kFullMonopolize;
+  EXPECT_THROW(GpuSystem(cfg, FindWorkload("BFS")), std::invalid_argument);
+}
+
+TEST(GpuSystemTest, UnsafeMonopolizingActuallyDeadlocks) {
+  // The strongest validation of the Sec. 3.2.1 safety argument: force full
+  // VC monopolizing onto a placement whose request/reply traffic shares
+  // links (diamond) and watch the protocol deadlock actually happen — the
+  // watchdog detects that flits are buffered but nothing moves.
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.placement = McPlacement::kDiamond;
+  cfg.vc_policy = VcPolicyKind::kFullMonopolize;
+  cfg.allow_unsafe = true;
+  GpuSystem gpu(cfg, FindWorkload("KMN"));
+  const GpuRunStats stats = gpu.Run(/*warmup=*/2000, /*measure=*/15000);
+  EXPECT_TRUE(stats.deadlocked);
+}
+
+TEST(GpuSystemTest, SafeConfigurationsDoNotDeadlock) {
+  // The provably safe counterparts of the previous test keep flowing.
+  for (auto policy :
+       {VcPolicyKind::kSplit, VcPolicyKind::kPartialMonopolize,
+        VcPolicyKind::kAsymmetric}) {
+    GpuConfig cfg = GpuConfig::Baseline();
+    cfg.placement = McPlacement::kDiamond;
+    cfg.vc_policy = policy;
+    cfg.num_vcs = policy == VcPolicyKind::kAsymmetric ? 4 : 2;
+    GpuSystem gpu(cfg, FindWorkload("KMN"));
+    const GpuRunStats stats = gpu.Run(/*warmup=*/1000, /*measure=*/6000);
+    EXPECT_FALSE(stats.deadlocked) << VcPolicyName(policy);
+    EXPECT_GT(stats.ipc, 0.0) << VcPolicyName(policy);
+  }
+}
+
+TEST(GpuSystemTest, DeterministicAcrossRuns) {
+  const auto a = RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit, "HST");
+  const auto b = RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit, "HST");
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.request_flits, b.request_flits);
+  EXPECT_EQ(a.reply_flits, b.reply_flits);
+}
+
+// --- The paper's headline orderings, on a memory-bound workload ---
+
+TEST(GpuSystemTrendTest, RoutingOrderMatchesFig7) {
+  // Fig. 7: XY < YX < XY-YX with split VCs, bottom MCs.
+  const double xy =
+      RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit, "BFS").ipc;
+  const double yx =
+      RunConfig(RoutingAlgorithm::kYX, VcPolicyKind::kSplit, "BFS").ipc;
+  const double xyyx =
+      RunConfig(RoutingAlgorithm::kXYYX, VcPolicyKind::kSplit, "BFS").ipc;
+  EXPECT_GT(yx, 1.1 * xy);
+  EXPECT_GT(xyyx, yx);
+}
+
+TEST(GpuSystemTrendTest, MonopolizingHelpsMatchesFig8) {
+  // Fig. 8: monopolized VCs beat split VCs for XY and YX; YX monopolized is
+  // the overall best bottom-placement configuration.
+  const double xy_split =
+      RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit, "KMN").ipc;
+  const double xy_mono =
+      RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kFullMonopolize, "KMN")
+          .ipc;
+  const double yx_split =
+      RunConfig(RoutingAlgorithm::kYX, VcPolicyKind::kSplit, "KMN").ipc;
+  const double yx_mono =
+      RunConfig(RoutingAlgorithm::kYX, VcPolicyKind::kFullMonopolize, "KMN")
+          .ipc;
+  EXPECT_GT(xy_mono, xy_split);
+  EXPECT_GT(yx_mono, yx_split);
+  EXPECT_GT(yx_mono, xy_mono);
+}
+
+TEST(GpuSystemTrendTest, AsymmetricPartitioningHelpsMatchesFig10) {
+  // Fig. 10: with 4 VCs and XY-YX routing, a 1:3 request:reply partition
+  // beats the 2:2 split on memory-bound workloads.
+  const double split = RunConfig(RoutingAlgorithm::kXYYX, VcPolicyKind::kSplit,
+                                 "MUM", McPlacement::kBottom, 4)
+                           .ipc;
+  const double asym =
+      RunConfig(RoutingAlgorithm::kXYYX, VcPolicyKind::kAsymmetric, "MUM",
+                McPlacement::kBottom, 4)
+          .ipc;
+  EXPECT_GT(asym, split);
+}
+
+TEST(GpuSystemTrendTest, ComputeBoundIsInsensitiveToNoc) {
+  // NoC improvements must not change compute-bound IPC materially.
+  const double xy =
+      RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit, "NQU").ipc;
+  const double best =
+      RunConfig(RoutingAlgorithm::kYX, VcPolicyKind::kFullMonopolize, "NQU")
+          .ipc;
+  EXPECT_NEAR(best / xy, 1.0, 0.05);
+}
+
+TEST(GpuSystemTrendTest, DistributedPlacementsBeatBottomUnderXy) {
+  // Fig. 9: with plain XY routing, spreading the MCs (e.g. diamond) beats
+  // the congested bottom row.
+  const double bottom =
+      RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit, "BFS").ipc;
+  const double diamond = RunConfig(RoutingAlgorithm::kXY, VcPolicyKind::kSplit,
+                                   "BFS", McPlacement::kDiamond)
+                             .ipc;
+  EXPECT_GT(diamond, bottom);
+}
+
+}  // namespace
+}  // namespace gnoc

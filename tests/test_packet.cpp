@@ -1,0 +1,82 @@
+// Unit tests for packet types and flit segmentation.
+#include <gtest/gtest.h>
+
+#include "noc/packet.hpp"
+
+namespace gnoc {
+namespace {
+
+TEST(PacketTest, ClassOfMapsProtocolPhases) {
+  EXPECT_EQ(ClassOf(PacketType::kReadRequest), TrafficClass::kRequest);
+  EXPECT_EQ(ClassOf(PacketType::kWriteRequest), TrafficClass::kRequest);
+  EXPECT_EQ(ClassOf(PacketType::kReadReply), TrafficClass::kReply);
+  EXPECT_EQ(ClassOf(PacketType::kWriteReply), TrafficClass::kReply);
+}
+
+TEST(PacketTest, DefaultSizesMatchPaper) {
+  // Sec. 3.1.1: read requests and write replies are single-flit; read
+  // replies are 5 flits; write requests are 3..5 flits (we default to 5).
+  PacketSizes sizes;
+  EXPECT_EQ(sizes.SizeOf(PacketType::kReadRequest), 1);
+  EXPECT_EQ(sizes.SizeOf(PacketType::kWriteReply), 1);
+  EXPECT_EQ(sizes.SizeOf(PacketType::kReadReply), 5);
+  EXPECT_GE(sizes.SizeOf(PacketType::kWriteRequest), 3);
+  EXPECT_LE(sizes.SizeOf(PacketType::kWriteRequest), 5);
+}
+
+TEST(PacketizeTest, SingleFlitIsHeadTail) {
+  Packet p;
+  p.id = 42;
+  p.type = PacketType::kReadRequest;
+  p.src = 1;
+  p.dst = 2;
+  p.num_flits = 1;
+  p.created = 10;
+  p.payload = 77;
+  const auto flits = Packetize(p, Coord{2, 0});
+  ASSERT_EQ(flits.size(), 1u);
+  EXPECT_EQ(flits[0].kind, FlitKind::kHeadTail);
+  EXPECT_EQ(flits[0].packet_id, 42u);
+  EXPECT_EQ(flits[0].cls, TrafficClass::kRequest);
+  EXPECT_EQ(flits[0].dst_coord, (Coord{2, 0}));
+  EXPECT_EQ(flits[0].payload, 77u);
+  EXPECT_EQ(flits[0].created, 10u);
+  EXPECT_EQ(static_cast<PacketType>(flits[0].type_raw),
+            PacketType::kReadRequest);
+}
+
+TEST(PacketizeTest, MultiFlitStructure) {
+  Packet p;
+  p.id = 7;
+  p.type = PacketType::kReadReply;
+  p.num_flits = 5;
+  const auto flits = Packetize(p, Coord{0, 0});
+  ASSERT_EQ(flits.size(), 5u);
+  EXPECT_EQ(flits[0].kind, FlitKind::kHead);
+  EXPECT_EQ(flits[1].kind, FlitKind::kBody);
+  EXPECT_EQ(flits[2].kind, FlitKind::kBody);
+  EXPECT_EQ(flits[3].kind, FlitKind::kBody);
+  EXPECT_EQ(flits[4].kind, FlitKind::kTail);
+  for (std::size_t i = 0; i < flits.size(); ++i) {
+    EXPECT_EQ(flits[i].seq, i);
+    EXPECT_EQ(flits[i].packet_size, 5);
+    EXPECT_EQ(flits[i].cls, TrafficClass::kReply);
+  }
+}
+
+TEST(PacketizeTest, TwoFlitPacketHasHeadAndTail) {
+  Packet p;
+  p.num_flits = 2;
+  const auto flits = Packetize(p, Coord{});
+  ASSERT_EQ(flits.size(), 2u);
+  EXPECT_EQ(flits[0].kind, FlitKind::kHead);
+  EXPECT_EQ(flits[1].kind, FlitKind::kTail);
+}
+
+TEST(PacketTest, Names) {
+  EXPECT_STREQ(PacketTypeName(PacketType::kReadRequest), "read-request");
+  EXPECT_STREQ(PacketTypeName(PacketType::kWriteReply), "write-reply");
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -1,0 +1,132 @@
+// Unit tests for MC placement schemes and the TilePlan.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/placement.hpp"
+
+namespace gnoc {
+namespace {
+
+TEST(PlacementTest, BottomPutsAllMcsOnBottomRow) {
+  const auto mcs = McCoordinates(8, 8, 8, McPlacement::kBottom);
+  ASSERT_EQ(mcs.size(), 8u);
+  std::set<int> columns;
+  for (const Coord& c : mcs) {
+    EXPECT_EQ(c.y, 7);
+    columns.insert(c.x);
+  }
+  EXPECT_EQ(columns.size(), 8u);  // one MC per column
+}
+
+TEST(PlacementTest, EdgeSplitsLeftRight) {
+  const auto mcs = McCoordinates(8, 8, 8, McPlacement::kEdge);
+  ASSERT_EQ(mcs.size(), 8u);
+  int left = 0;
+  int right = 0;
+  for (const Coord& c : mcs) {
+    EXPECT_TRUE(c.x == 0 || c.x == 7);
+    (c.x == 0 ? left : right)++;
+  }
+  EXPECT_EQ(left, 4);
+  EXPECT_EQ(right, 4);
+}
+
+TEST(PlacementTest, TopBottomSplitsRows) {
+  const auto mcs = McCoordinates(8, 8, 8, McPlacement::kTopBottom);
+  ASSERT_EQ(mcs.size(), 8u);
+  int top = 0;
+  int bottom = 0;
+  for (const Coord& c : mcs) {
+    EXPECT_TRUE(c.y == 0 || c.y == 7);
+    (c.y == 0 ? top : bottom)++;
+  }
+  EXPECT_EQ(top, 4);
+  EXPECT_EQ(bottom, 4);
+}
+
+TEST(PlacementTest, DiamondAvoidsEdges) {
+  const auto mcs = McCoordinates(8, 8, 8, McPlacement::kDiamond);
+  ASSERT_EQ(mcs.size(), 8u);
+  for (const Coord& c : mcs) {
+    EXPECT_GT(c.x, 0);
+    EXPECT_LT(c.x, 7);
+    EXPECT_GT(c.y, 0);
+    EXPECT_LT(c.y, 7);
+  }
+}
+
+TEST(PlacementTest, AllPlacementsProduceDistinctTiles) {
+  for (McPlacement p : kAllPlacements) {
+    const auto mcs = McCoordinates(8, 8, 8, p);
+    std::set<std::pair<int, int>> unique;
+    for (const Coord& c : mcs) unique.insert({c.x, c.y});
+    EXPECT_EQ(unique.size(), mcs.size()) << McPlacementName(p);
+  }
+}
+
+TEST(PlacementTest, InvalidConfigurationsThrow) {
+  EXPECT_THROW(McCoordinates(1, 8, 2, McPlacement::kBottom),
+               std::invalid_argument);
+  EXPECT_THROW(McCoordinates(8, 8, 0, McPlacement::kBottom),
+               std::invalid_argument);
+  EXPECT_THROW(McCoordinates(8, 8, 64, McPlacement::kBottom),
+               std::invalid_argument);
+  EXPECT_THROW(McCoordinates(8, 8, 9, McPlacement::kBottom),
+               std::invalid_argument);
+  EXPECT_THROW(McCoordinates(8, 8, 4, McPlacement::kDiamond),
+               std::invalid_argument);
+}
+
+TEST(TilePlanTest, CanonicalConfigurationCounts) {
+  // The paper's system: 56 SMs + 8 MCs on an 8x8 mesh (Table 2).
+  for (McPlacement p : kAllPlacements) {
+    TilePlan plan(8, 8, 8, p);
+    EXPECT_EQ(plan.num_nodes(), 64);
+    EXPECT_EQ(plan.num_mcs(), 8) << McPlacementName(p);
+    EXPECT_EQ(plan.num_cores(), 56) << McPlacementName(p);
+    EXPECT_EQ(plan.mc_nodes().size() + plan.core_nodes().size(), 64u);
+  }
+}
+
+TEST(TilePlanTest, NodeCoordRoundTrip) {
+  TilePlan plan(8, 8, 8, McPlacement::kBottom);
+  for (NodeId n = 0; n < plan.num_nodes(); ++n) {
+    EXPECT_EQ(plan.NodeAt(plan.CoordOf(n)), n);
+  }
+  EXPECT_EQ(plan.NodeAt({0, 0}), 0);
+  EXPECT_EQ(plan.NodeAt({7, 0}), 7);
+  EXPECT_EQ(plan.NodeAt({0, 1}), 8);
+}
+
+TEST(TilePlanTest, McClassificationConsistent) {
+  TilePlan plan(8, 8, 8, McPlacement::kDiamond);
+  int mcs = 0;
+  for (NodeId n = 0; n < plan.num_nodes(); ++n) {
+    EXPECT_NE(plan.IsMc(n), plan.IsCore(n));
+    if (plan.IsMc(n)) ++mcs;
+  }
+  EXPECT_EQ(mcs, 8);
+  for (NodeId n : plan.mc_nodes()) EXPECT_TRUE(plan.IsMc(n));
+  for (NodeId n : plan.core_nodes()) EXPECT_TRUE(plan.IsCore(n));
+}
+
+TEST(TilePlanTest, McCoordsMatchMcNodes) {
+  TilePlan plan(8, 8, 8, McPlacement::kEdge);
+  const auto coords = plan.McCoords();
+  ASSERT_EQ(coords.size(), plan.mc_nodes().size());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(plan.NodeAt(coords[i]), plan.mc_nodes()[i]);
+  }
+}
+
+TEST(PlacementTest, ParseNames) {
+  EXPECT_EQ(ParseMcPlacement("bottom"), McPlacement::kBottom);
+  EXPECT_EQ(ParseMcPlacement("Edge"), McPlacement::kEdge);
+  EXPECT_EQ(ParseMcPlacement("top-bottom"), McPlacement::kTopBottom);
+  EXPECT_EQ(ParseMcPlacement("DIAMOND"), McPlacement::kDiamond);
+  EXPECT_THROW(ParseMcPlacement("center"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -1,0 +1,190 @@
+// System-level property sweeps: every supported configuration must run
+// deadlock-free, conserve transactions, stay deterministic and respect the
+// ideal-interconnect upper bound. These TEST_P suites are the regression
+// net for the whole design space.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gpgpu/workload.hpp"
+#include "sim/gpu_system.hpp"
+
+namespace gnoc {
+namespace {
+
+constexpr Cycle kWarmup = 600;
+constexpr Cycle kMeasure = 2500;
+
+// ---------------------------------------------------------------------------
+// Placement x routing sweep (split VCs: always safe).
+// ---------------------------------------------------------------------------
+
+class PlacementRoutingSweep
+    : public ::testing::TestWithParam<
+          std::tuple<McPlacement, RoutingAlgorithm>> {};
+
+TEST_P(PlacementRoutingSweep, RunsHealthy) {
+  const auto [placement, routing] = GetParam();
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.placement = placement;
+  cfg.routing = routing;
+  GpuSystem gpu(cfg, FindWorkload("SRAD"));
+  const GpuRunStats stats = gpu.Run(kWarmup, kMeasure);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_GT(stats.ipc, 0.5);
+  EXPECT_LE(stats.ipc, 56.0 + 1e-9);
+  // Flit accounting is sane: replies at least as voluminous as read
+  // requests (reads dominate SRAD).
+  EXPECT_GT(stats.reply_flits, stats.request_flits / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, PlacementRoutingSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllPlacements),
+                       ::testing::Values(RoutingAlgorithm::kXY,
+                                         RoutingAlgorithm::kYX,
+                                         RoutingAlgorithm::kXYYX)),
+    [](const auto& info) {
+      std::string n = std::string(McPlacementName(std::get<0>(info.param))) +
+                      "_" + RoutingName(std::get<1>(info.param));
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// VC policy x VC count sweep on the baseline placement/routing.
+// ---------------------------------------------------------------------------
+
+struct PolicyParam {
+  VcPolicyKind policy;
+  RoutingAlgorithm routing;
+  int num_vcs;
+};
+
+class PolicySweep : public ::testing::TestWithParam<PolicyParam> {};
+
+TEST_P(PolicySweep, RunsHealthyAndDeterministic) {
+  const PolicyParam p = GetParam();
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.vc_policy = p.policy;
+  cfg.routing = p.routing;
+  cfg.num_vcs = p.num_vcs;
+
+  GpuSystem a(cfg, FindWorkload("HST"));
+  const GpuRunStats ra = a.Run(kWarmup, kMeasure);
+  EXPECT_FALSE(ra.deadlocked);
+  EXPECT_GT(ra.ipc, 0.5);
+
+  GpuSystem b(cfg, FindWorkload("HST"));
+  const GpuRunStats rb = b.Run(kWarmup, kMeasure);
+  EXPECT_EQ(ra.instructions, rb.instructions) << "nondeterministic run";
+  EXPECT_EQ(ra.request_flits, rb.request_flits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyMatrix, PolicySweep,
+    ::testing::Values(
+        PolicyParam{VcPolicyKind::kSplit, RoutingAlgorithm::kXY, 2},
+        PolicyParam{VcPolicyKind::kSplit, RoutingAlgorithm::kXY, 4},
+        PolicyParam{VcPolicyKind::kFullMonopolize, RoutingAlgorithm::kYX, 2},
+        PolicyParam{VcPolicyKind::kFullMonopolize, RoutingAlgorithm::kXY, 4},
+        PolicyParam{VcPolicyKind::kPartialMonopolize, RoutingAlgorithm::kXYYX,
+                    2},
+        PolicyParam{VcPolicyKind::kPartialMonopolize, RoutingAlgorithm::kXYYX,
+                    4},
+        PolicyParam{VcPolicyKind::kAsymmetric, RoutingAlgorithm::kXYYX, 4},
+        PolicyParam{VcPolicyKind::kAsymmetric, RoutingAlgorithm::kXY, 4},
+        PolicyParam{VcPolicyKind::kDynamic, RoutingAlgorithm::kXYYX, 4},
+        PolicyParam{VcPolicyKind::kDynamic, RoutingAlgorithm::kXY, 4}),
+    [](const auto& info) {
+      std::string n = std::string(VcPolicyName(info.param.policy)) + "_" +
+                      RoutingName(info.param.routing) + "_v" +
+                      std::to_string(info.param.num_vcs);
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Workload sweep: every paper profile runs healthy on the baseline.
+// ---------------------------------------------------------------------------
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSweep, BaselineRunsHealthy) {
+  GpuConfig cfg = GpuConfig::Baseline();
+  GpuSystem gpu(cfg, FindWorkload(GetParam()));
+  const GpuRunStats stats = gpu.Run(kWarmup, kMeasure);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_GT(stats.ipc, 0.1);
+  EXPECT_GT(stats.instructions, 0u);
+  // Every profile produces some memory traffic.
+  EXPECT_GT(stats.request_flits, 0u);
+  EXPECT_GT(stats.reply_flits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperWorkloads, WorkloadSweep,
+                         ::testing::ValuesIn(WorkloadNames()),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Cross-cutting invariants.
+// ---------------------------------------------------------------------------
+
+TEST(SystemInvariantTest, MonopolizingNeverHurtsWhenSafe) {
+  // On the safe bottom placement, monopolizing adds resources for the
+  // class that owns each link; it must not reduce IPC materially.
+  for (auto routing : {RoutingAlgorithm::kXY, RoutingAlgorithm::kYX}) {
+    GpuConfig split = GpuConfig::Baseline();
+    split.routing = routing;
+    GpuConfig mono = split;
+    mono.vc_policy = VcPolicyKind::kFullMonopolize;
+    GpuSystem gs(split, FindWorkload("SCL"));
+    GpuSystem gm(mono, FindWorkload("SCL"));
+    const double ipc_split = gs.Run(kWarmup, kMeasure).ipc;
+    const double ipc_mono = gm.Run(kWarmup, kMeasure).ipc;
+    EXPECT_GT(ipc_mono, 0.95 * ipc_split) << RoutingName(routing);
+  }
+}
+
+TEST(SystemInvariantTest, MoreVcsNeverHurtMaterially) {
+  GpuConfig two = GpuConfig::Baseline();
+  GpuConfig four = two;
+  four.num_vcs = 4;
+  GpuSystem g2(two, FindWorkload("PVC"));
+  GpuSystem g4(four, FindWorkload("PVC"));
+  const double ipc2 = g2.Run(kWarmup, kMeasure).ipc;
+  const double ipc4 = g4.Run(kWarmup, kMeasure).ipc;
+  EXPECT_GT(ipc4, 0.95 * ipc2);
+}
+
+TEST(SystemInvariantTest, IdealNocDominatesAcrossWorkloadClasses) {
+  for (const char* name : {"NQU", "HOT", "MUM"}) {
+    GpuConfig ideal = GpuConfig::Baseline();
+    ideal.ideal_noc = true;
+    GpuConfig real = GpuConfig::Baseline();
+    GpuSystem gi(ideal, FindWorkload(name));
+    GpuSystem gr(real, FindWorkload(name));
+    const double ipc_ideal = gi.Run(kWarmup, kMeasure).ipc;
+    const double ipc_real = gr.Run(kWarmup, kMeasure).ipc;
+    EXPECT_GE(ipc_ideal * 1.02, ipc_real) << name;
+  }
+}
+
+TEST(SystemInvariantTest, SeedChangesRunButNotCharacter) {
+  GpuConfig a = GpuConfig::Baseline();
+  GpuConfig b = a;
+  b.seed = a.seed + 1;
+  GpuSystem ga(a, FindWorkload("WC"));
+  GpuSystem gb(b, FindWorkload("WC"));
+  const double ipc_a = ga.Run(kWarmup, kMeasure).ipc;
+  const double ipc_b = gb.Run(kWarmup, kMeasure).ipc;
+  EXPECT_NE(ipc_a, ipc_b) << "different seeds should differ in detail";
+  EXPECT_NEAR(ipc_a / ipc_b, 1.0, 0.15) << "but not in character";
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -1,0 +1,377 @@
+// White-box unit tests of the VC router: pipeline timing, credit protocol,
+// wormhole integrity, VC allocation policy enforcement, atomic VC
+// reallocation and link-aware monopolizing.
+#include <gtest/gtest.h>
+
+#include "noc/nic.hpp"
+#include "noc/router.hpp"
+
+namespace gnoc {
+namespace {
+
+/// Harness around a single router: we feed flits into its input ports and
+/// observe its output channels directly.
+class RouterHarness {
+ public:
+  explicit RouterHarness(const RouterConfig& config)
+      : router_(/*node=*/5, /*coord=*/Coord{1, 1}, config),
+        nic_(5, Coord{1, 1}, MakeNicConfig(config)) {
+    // Wire all four mesh outputs; local ejection goes to the NIC.
+    for (Port p : {Port::kNorth, Port::kEast, Port::kSouth, Port::kWest}) {
+      router_.SetOutputChannel(p, &out_[PortIndex(p)]);
+      router_.SetCreditReturnChannel(p, &credits_[PortIndex(p)]);
+    }
+    router_.SetCreditReturnChannel(Port::kLocal,
+                                   &credits_[PortIndex(Port::kLocal)]);
+    router_.SetNic(&nic_);
+  }
+
+  static NicConfig MakeNicConfig(const RouterConfig& config) {
+    NicConfig nc;
+    nc.num_vcs = config.num_vcs;
+    nc.vc_depth = config.vc_depth;
+    nc.vc_policy = config.vc_policy;
+    return nc;
+  }
+
+  /// Builds a flit heading from `in_port` to destination `dst` on VC `vc`.
+  Flit MakeFlit(FlitKind kind, TrafficClass cls, Coord dst, VcId vc,
+                PacketId packet = 1, int seq = 0) {
+    Flit f;
+    f.packet_id = packet;
+    f.kind = kind;
+    f.cls = cls;
+    f.dst = dst.y * 8 + dst.x;
+    f.dst_coord = dst;
+    f.vc = vc;
+    f.seq = static_cast<std::uint16_t>(seq);
+    f.packet_size = 1;
+    return f;
+  }
+
+  Router router_;
+  Nic nic_;
+  std::array<FlitChannel, kNumPorts> out_ = {
+      FlitChannel(1), FlitChannel(1), FlitChannel(1), FlitChannel(1),
+      FlitChannel(1)};
+  std::array<CreditChannel, kNumPorts> credits_ = {
+      CreditChannel(1), CreditChannel(1), CreditChannel(1), CreditChannel(1),
+      CreditChannel(1)};
+};
+
+RouterConfig DefaultConfig() {
+  RouterConfig cfg;
+  cfg.num_vcs = 2;
+  cfg.vc_depth = 4;
+  cfg.routing = RoutingAlgorithm::kXY;
+  cfg.vc_policy = VcPolicyKind::kSplit;
+  return cfg;
+}
+
+TEST(RouterTest, FlitIsNotEligibleInArrivalCycle) {
+  RouterHarness h(DefaultConfig());
+  const Flit f = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                            Coord{3, 1}, /*vc=*/0);
+  h.router_.AcceptFlit(Port::kWest, f, /*now=*/10);
+  h.router_.Tick(10);  // same cycle: RC/VA/SA stage not yet done
+  EXPECT_TRUE(h.out_[PortIndex(Port::kEast)].empty());
+  h.router_.Tick(11);  // next cycle: eligible, traverses
+  EXPECT_EQ(h.out_[PortIndex(Port::kEast)].size(), 1u);
+}
+
+TEST(RouterTest, RoutesFollowXy) {
+  RouterHarness h(DefaultConfig());
+  struct Case {
+    Coord dst;
+    Port expected;
+  };
+  const Case cases[] = {
+      {{3, 1}, Port::kEast},  {{0, 1}, Port::kWest},
+      {{1, 3}, Port::kSouth}, {{1, 0}, Port::kNorth},
+      {{3, 3}, Port::kEast},  // X first
+  };
+  int packet = 1;
+  for (const Case& c : cases) {
+    RouterHarness fresh(DefaultConfig());
+    const Flit f =
+        fresh.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest, c.dst,
+                       /*vc=*/0, static_cast<PacketId>(packet++));
+    fresh.router_.AcceptFlit(Port::kLocal, f, 0);
+    fresh.router_.Tick(0);
+    fresh.router_.Tick(1);
+    EXPECT_EQ(fresh.out_[PortIndex(c.expected)].size(), 1u)
+        << "dst " << ToString(c.dst);
+  }
+}
+
+TEST(RouterTest, EjectsAtOwnCoordinate) {
+  RouterHarness h(DefaultConfig());
+  const Flit f = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kReply,
+                            Coord{1, 1}, /*vc=*/1);
+  h.router_.AcceptFlit(Port::kNorth, f, 0);
+  h.router_.Tick(0);
+  h.router_.Tick(1);
+  EXPECT_EQ(h.nic_.stats().flits_ejected[ClassIndex(TrafficClass::kReply)],
+            1u);
+}
+
+TEST(RouterTest, CreditReturnedWhenFlitLeaves) {
+  RouterHarness h(DefaultConfig());
+  const Flit f = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                            Coord{3, 1}, /*vc=*/0);
+  h.router_.AcceptFlit(Port::kWest, f, 0);
+  h.router_.Tick(0);
+  EXPECT_TRUE(h.credits_[PortIndex(Port::kWest)].empty());
+  h.router_.Tick(1);  // flit forwarded -> credit to the west upstream
+  auto credit = h.credits_[PortIndex(Port::kWest)].Pop(/*now=*/2);
+  ASSERT_TRUE(credit.has_value());
+  EXPECT_EQ(credit->vc, 0);
+}
+
+TEST(RouterTest, OutputCreditsDecrementAndRecover) {
+  RouterHarness h(DefaultConfig());
+  EXPECT_EQ(h.router_.OutputCredits(Port::kEast, 0), 4);
+  const Flit f = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                            Coord{3, 1}, /*vc=*/0);
+  h.router_.AcceptFlit(Port::kWest, f, 0);
+  h.router_.Tick(0);
+  h.router_.Tick(1);
+  EXPECT_EQ(h.router_.OutputCredits(Port::kEast, 0), 3);
+  h.router_.AcceptCredit(Port::kEast, 0);
+  EXPECT_EQ(h.router_.OutputCredits(Port::kEast, 0), 4);
+}
+
+TEST(RouterTest, StallsWhenOutputCreditsExhausted) {
+  RouterConfig cfg = DefaultConfig();
+  cfg.vc_depth = 2;  // only 2 credits per output VC
+  RouterHarness h(cfg);
+  // 3 single-flit packets of the same class through the same output VC.
+  for (int i = 0; i < 3; ++i) {
+    Flit f = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                        Coord{3, 1}, /*vc=*/0, static_cast<PacketId>(i + 1));
+    h.router_.AcceptFlit(Port::kWest, f, static_cast<Cycle>(i));
+  }
+  for (Cycle c = 0; c < 10; ++c) h.router_.Tick(c);
+  // With atomic reallocation and no credits returned, only the first packet
+  // can have left; the follow-up packets fail VC allocation because the
+  // draining output VC is never recycled.
+  EXPECT_LE(h.out_[PortIndex(Port::kEast)].size(), 2u);
+  EXPECT_GE(h.router_.stats().va_failures, 1u);
+}
+
+TEST(RouterTest, WormholeKeepsPacketContiguousPerVc) {
+  RouterHarness h(DefaultConfig());
+  // A 3-flit packet: all flits leave on the same output VC in order.
+  for (int i = 0; i < 3; ++i) {
+    const FlitKind kind = i == 0   ? FlitKind::kHead
+                          : i == 2 ? FlitKind::kTail
+                                   : FlitKind::kBody;
+    Flit f = h.MakeFlit(kind, TrafficClass::kRequest, Coord{3, 1}, /*vc=*/0,
+                        /*packet=*/7, i);
+    f.packet_size = 3;
+    h.router_.AcceptFlit(Port::kWest, f, static_cast<Cycle>(i));
+  }
+  for (Cycle c = 0; c < 10; ++c) h.router_.Tick(c);
+  auto& channel = h.out_[PortIndex(Port::kEast)];
+  ASSERT_EQ(channel.size(), 3u);
+  VcId vc = kInvalidVc;
+  for (int i = 0; i < 3; ++i) {
+    const auto f = channel.Pop(/*now=*/100);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->seq, i);
+    if (vc == kInvalidVc) {
+      vc = f->vc;
+    } else {
+      EXPECT_EQ(f->vc, vc) << "wormhole must not switch VCs mid-packet";
+    }
+  }
+}
+
+TEST(RouterTest, SplitPolicyRestrictsOutputVcByClass) {
+  RouterHarness h(DefaultConfig());  // split: request VC 0, reply VC 1
+  Flit req = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                        Coord{3, 1}, /*vc=*/0, 1);
+  Flit rep = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kReply,
+                        Coord{3, 1}, /*vc=*/1, 2);
+  h.router_.AcceptFlit(Port::kWest, req, 0);
+  h.router_.AcceptFlit(Port::kNorth, rep, 0);
+  for (Cycle c = 0; c < 6; ++c) h.router_.Tick(c);
+  auto& channel = h.out_[PortIndex(Port::kEast)];
+  ASSERT_EQ(channel.size(), 2u);
+  while (auto f = channel.Pop(100)) {
+    if (f->cls == TrafficClass::kRequest) {
+      EXPECT_EQ(f->vc, 0) << "request must use the request VC partition";
+    } else {
+      EXPECT_EQ(f->vc, 1) << "reply must use the reply VC partition";
+    }
+  }
+}
+
+TEST(RouterTest, MonopolizePolicyUsesAllVcs) {
+  RouterConfig cfg = DefaultConfig();
+  cfg.vc_policy = VcPolicyKind::kFullMonopolize;
+  RouterHarness h(cfg);
+  // Two concurrent request packets: the second must get the other VC.
+  Flit a = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                      Coord{3, 1}, /*vc=*/0, 1);
+  Flit b = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                      Coord{3, 1}, /*vc=*/0, 2);
+  h.router_.AcceptFlit(Port::kWest, a, 0);
+  h.router_.AcceptFlit(Port::kNorth, b, 0);
+  h.router_.Tick(0);
+  h.router_.Tick(1);
+  // Both output VCs allocated in the same VA cycle.
+  EXPECT_TRUE(h.router_.OutputVcAllocated(Port::kEast, 0) ||
+              h.router_.OutputVcAllocated(Port::kEast, 1));
+  for (Cycle c = 2; c < 8; ++c) h.router_.Tick(c);
+  EXPECT_EQ(h.out_[PortIndex(Port::kEast)].size(), 2u);
+}
+
+TEST(RouterTest, PartialMonopolizeHonorsLinkMode) {
+  RouterConfig cfg = DefaultConfig();
+  cfg.vc_policy = VcPolicyKind::kPartialMonopolize;
+  RouterHarness h(cfg);
+  h.router_.SetLinkMode(Port::kEast, LinkMode::kSingleClass);
+  // Mixed (default) on south: a reply must stay in the upper partition.
+  Flit south = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kReply,
+                          Coord{1, 3}, /*vc=*/1, 1);
+  // Single-class east: a request may claim any VC.
+  Flit east_a = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                           Coord{3, 1}, /*vc=*/0, 2);
+  Flit east_b = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                           Coord{3, 1}, /*vc=*/1, 3);
+  h.router_.AcceptFlit(Port::kNorth, south, 0);
+  h.router_.AcceptFlit(Port::kWest, east_a, 0);
+  h.router_.AcceptFlit(Port::kLocal, east_b, 0);
+  for (Cycle c = 0; c < 8; ++c) h.router_.Tick(c);
+  EXPECT_EQ(h.out_[PortIndex(Port::kSouth)].size(), 1u);
+  EXPECT_EQ(h.out_[PortIndex(Port::kEast)].size(), 2u);
+  // South reply must have used VC 1 (mixed link, split ranges).
+  const auto s = h.out_[PortIndex(Port::kSouth)].Pop(100);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->vc, 1);
+}
+
+TEST(RouterTest, AtomicReallocWaitsForDrain) {
+  RouterConfig cfg = DefaultConfig();
+  cfg.atomic_vc_realloc = true;
+  RouterHarness h(cfg);
+  Flit a = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                      Coord{3, 1}, /*vc=*/0, 1);
+  h.router_.AcceptFlit(Port::kWest, a, 0);
+  h.router_.Tick(0);
+  h.router_.Tick(1);  // packet forwarded, tail sent
+  // No credit returned yet: the output VC must still be held.
+  h.router_.Tick(2);
+  EXPECT_TRUE(h.router_.OutputVcAllocated(Port::kEast, 0));
+  h.router_.AcceptCredit(Port::kEast, 0);  // downstream drained
+  h.router_.Tick(3);
+  EXPECT_FALSE(h.router_.OutputVcAllocated(Port::kEast, 0));
+}
+
+TEST(RouterTest, NonAtomicReallocFreesAtTail) {
+  RouterConfig cfg = DefaultConfig();
+  cfg.atomic_vc_realloc = false;
+  RouterHarness h(cfg);
+  Flit a = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                      Coord{3, 1}, /*vc=*/0, 1);
+  h.router_.AcceptFlit(Port::kWest, a, 0);
+  h.router_.Tick(0);
+  h.router_.Tick(1);
+  h.router_.Tick(2);  // recycle pass frees the VC without waiting for drain
+  EXPECT_FALSE(h.router_.OutputVcAllocated(Port::kEast, 0));
+}
+
+TEST(RouterTest, EjectionBlockedByFullNicBackpressures) {
+  RouterConfig cfg = DefaultConfig();
+  RouterHarness h(cfg);
+  // Fill the NIC's request ejection buffer.
+  Flit filler = h.MakeFlit(FlitKind::kHead, TrafficClass::kRequest,
+                           Coord{1, 1}, /*vc=*/0, 99, 0);
+  filler.packet_size = 64;
+  int accepted = 0;
+  while (h.nic_.CanAcceptEjection(TrafficClass::kRequest)) {
+    h.nic_.AcceptEjectedFlit(filler, 0);
+    ++accepted;
+  }
+  EXPECT_GT(accepted, 0);
+  // Now a flit destined here cannot eject; it must stay buffered.
+  Flit f = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                      Coord{1, 1}, /*vc=*/0, 1);
+  h.router_.AcceptFlit(Port::kWest, f, 0);
+  for (Cycle c = 0; c < 5; ++c) h.router_.Tick(c);
+  EXPECT_EQ(h.router_.VcOccupancy(Port::kWest, 0), 1u);
+  EXPECT_GT(h.router_.stats().sa_stalls, 0u);
+}
+
+TEST(RouterTest, OnePortForwardsAtMostOneFlitPerCycle) {
+  RouterConfig cfg = DefaultConfig();
+  cfg.vc_policy = VcPolicyKind::kFullMonopolize;
+  RouterHarness h(cfg);
+  // Two packets from the same input port to different outputs: the input
+  // port's switch bandwidth (1 flit/cycle) serializes them.
+  Flit a = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                      Coord{3, 1}, /*vc=*/0, 1);
+  Flit b = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kRequest,
+                      Coord{1, 3}, /*vc=*/1, 2);
+  h.router_.AcceptFlit(Port::kWest, a, 0);
+  h.router_.AcceptFlit(Port::kWest, b, 0);
+  h.router_.Tick(0);
+  h.router_.Tick(1);
+  const std::size_t after_first = h.out_[PortIndex(Port::kEast)].size() +
+                                  h.out_[PortIndex(Port::kSouth)].size();
+  EXPECT_EQ(after_first, 1u);
+  h.router_.Tick(2);
+  const std::size_t after_second = h.out_[PortIndex(Port::kEast)].size() +
+                                   h.out_[PortIndex(Port::kSouth)].size();
+  EXPECT_EQ(after_second, 2u);
+}
+
+TEST(RouterTest, DynamicBoundaryAdaptsTowardsHeavyClass) {
+  RouterConfig cfg = DefaultConfig();
+  cfg.num_vcs = 4;
+  cfg.vc_policy = VcPolicyKind::kDynamic;
+  cfg.dynamic_epoch = 32;
+  RouterHarness h(cfg);
+  EXPECT_EQ(h.router_.DynamicBoundary(Port::kEast), 2);  // balanced start
+
+  // Feed only reply traffic eastwards; return credits promptly so flits
+  // keep flowing across epochs.
+  Cycle now = 0;
+  PacketId id = 1;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (int i = 0; i < 8; ++i) {
+      Flit f = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kReply,
+                          Coord{3, 1}, /*vc=*/2, id++);
+      h.router_.AcceptFlit(Port::kWest, f, now);
+      h.router_.Tick(now++);
+      h.router_.Tick(now++);
+      // Drain the output channel and return its credit.
+      while (auto sent = h.out_[PortIndex(Port::kEast)].Pop(now)) {
+        h.router_.AcceptCredit(Port::kEast, sent->vc);
+      }
+      h.router_.Tick(now++);
+    }
+  }
+  // All-reply traffic: the boundary must have moved down towards 1,
+  // giving replies 3 of the 4 VCs.
+  EXPECT_EQ(h.router_.DynamicBoundary(Port::kEast), 1);
+}
+
+TEST(RouterTest, StatsCountForwardedFlitsPerPortAndClass) {
+  RouterHarness h(DefaultConfig());
+  Flit f = h.MakeFlit(FlitKind::kHeadTail, TrafficClass::kReply, Coord{0, 1},
+                      /*vc=*/1, 1);
+  h.router_.AcceptFlit(Port::kEast, f, 0);
+  for (Cycle c = 0; c < 4; ++c) h.router_.Tick(c);
+  EXPECT_EQ(h.router_.stats().flits_forwarded, 1u);
+  EXPECT_EQ(h.router_.stats().flits_out[PortIndex(Port::kWest)]
+                                       [ClassIndex(TrafficClass::kReply)],
+            1u);
+  EXPECT_GE(h.router_.stats().busy_cycles, 1u);
+  h.router_.ResetStats();
+  EXPECT_EQ(h.router_.stats().flits_forwarded, 0u);
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -1,0 +1,59 @@
+// Unit tests for the ASCII table renderer.
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace gnoc {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(TextTableTest, DoubleRowFormatsPrecision) {
+  TextTable t({"bench", "speedup"});
+  t.AddRow("BFS", {1.23456}, 2);
+  EXPECT_NE(t.Render().find("1.23"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.AddRow({"xxxx", "1"});
+  t.AddRow({"y", "2"});
+  const std::string out = t.Render();
+  // Both rows must place the second column at the same offset.
+  const auto lines_at = [&](int line_no) {
+    std::size_t pos = 0;
+    for (int i = 0; i < line_no; ++i) pos = out.find('\n', pos) + 1;
+    return out.substr(pos, out.find('\n', pos) - pos);
+  };
+  const std::string row1 = lines_at(2);
+  const std::string row2 = lines_at(3);
+  EXPECT_EQ(row1.find(" | "), row2.find(" | "));
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.RenderCsv(), "x,y\n1,2\n");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.5, 3), "1.500");
+  EXPECT_EQ(FormatDouble(2.0 / 3.0, 2), "0.67");
+}
+
+TEST(SectionHeaderTest, ContainsTitle) {
+  EXPECT_NE(SectionHeader("Figure 7").find("Figure 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -1,0 +1,227 @@
+// Tests for synthetic traffic generators (open loop and request/reply echo).
+#include <gtest/gtest.h>
+
+#include "noc/traffic.hpp"
+
+namespace gnoc {
+namespace {
+
+NetworkConfig Cfg(int w = 4, int h = 4) {
+  NetworkConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.num_vcs = 2;
+  cfg.vc_depth = 4;
+  return cfg;
+}
+
+TEST(OpenLoopTest, UniformRandomDeliversAtLowLoad) {
+  Network net(Cfg());
+  OpenLoopConfig tcfg;
+  tcfg.pattern = TrafficPattern::kUniformRandom;
+  tcfg.injection_rate = 0.05;
+  tcfg.packet_size = 5;
+  OpenLoopTraffic traffic(net, tcfg);
+
+  for (int c = 0; c < 3000; ++c) {
+    traffic.Tick();
+    net.Tick();
+  }
+  ASSERT_TRUE(net.Drain(10000));
+  const auto s = net.Summarize();
+  const auto total_ejected = s.packets_ejected[0] + s.packets_ejected[1];
+  EXPECT_GT(traffic.generated(), 100u);
+  EXPECT_EQ(total_ejected + traffic.dropped(), traffic.generated());
+  EXPECT_FALSE(net.Deadlocked());
+}
+
+TEST(OpenLoopTest, TransposeTargetsMirrorNode) {
+  Network net(Cfg());
+  OpenLoopConfig tcfg;
+  tcfg.pattern = TrafficPattern::kTranspose;
+  tcfg.injection_rate = 0.1;
+  tcfg.packet_size = 1;
+  OpenLoopTraffic traffic(net, tcfg);
+  for (int c = 0; c < 500; ++c) {
+    traffic.Tick();
+    net.Tick();
+  }
+  ASSERT_TRUE(net.Drain(5000));
+  // Latency stats exist => packets were delivered; self-addressed (diagonal)
+  // packets are also fine.
+  const auto s = net.Summarize();
+  EXPECT_GT(s.packets_ejected[0] + s.packets_ejected[1], 0u);
+}
+
+TEST(OpenLoopTest, HotspotConcentratesTraffic) {
+  Network net(Cfg());
+  OpenLoopConfig tcfg;
+  tcfg.pattern = TrafficPattern::kHotspot;
+  tcfg.injection_rate = 0.08;
+  tcfg.packet_size = 1;
+  tcfg.hotspots = {0};
+  tcfg.hotspot_fraction = 0.8;
+  OpenLoopTraffic traffic(net, tcfg);
+
+  for (int c = 0; c < 2000; ++c) {
+    traffic.Tick();
+    net.Tick();
+  }
+  net.Drain(20000);
+  // The hotspot NIC must have received far more packets than an average
+  // node.
+  const auto& hotspot_stats = net.nic(0).stats();
+  const auto& other_stats = net.nic(5).stats();
+  const auto hot = hotspot_stats.packets_ejected[0] +
+                   hotspot_stats.packets_ejected[1];
+  const auto other =
+      other_stats.packets_ejected[0] + other_stats.packets_ejected[1];
+  EXPECT_GT(hot, 4 * std::max<std::uint64_t>(other, 1));
+}
+
+TEST(OpenLoopTest, BitReverseIsAPermutationTarget) {
+  Network net(Cfg(4, 4));
+  OpenLoopConfig tcfg;
+  tcfg.pattern = TrafficPattern::kBitReverse;
+  tcfg.injection_rate = 0.1;
+  tcfg.packet_size = 1;
+  OpenLoopTraffic traffic(net, tcfg);
+  for (int c = 0; c < 500; ++c) {
+    traffic.Tick();
+    net.Tick();
+  }
+  ASSERT_TRUE(net.Drain(5000));
+  EXPECT_FALSE(net.Deadlocked());
+}
+
+TEST(EchoTest, EveryRequestGetsAReply) {
+  NetworkConfig cfg = Cfg(4, 4);
+  Network net(cfg);
+  TilePlan plan(4, 4, 4, McPlacement::kBottom);
+  EchoConfig ecfg;
+  ecfg.request_rate = 0.02;
+  ecfg.service_latency = 10;
+  RequestReplyEcho echo(net, plan, ecfg);
+
+  for (int c = 0; c < 4000; ++c) {
+    echo.Tick();
+    net.Tick();
+  }
+  // Let outstanding transactions finish (no new requests).
+  echo.StopGeneration();
+  for (int c = 0; c < 5000 && echo.replies_received() < echo.requests_sent();
+       ++c) {
+    echo.Tick();  // only services MC queues now
+    net.Tick();
+  }
+  EXPECT_GT(echo.requests_sent(), 50u);
+  EXPECT_EQ(echo.replies_received(), echo.requests_sent());
+  EXPECT_GT(echo.round_trip().mean(), 0.0);
+  EXPECT_FALSE(net.Deadlocked());
+}
+
+TEST(EchoTest, RoundTripLatencyIncludesServiceTime) {
+  NetworkConfig cfg = Cfg(4, 4);
+  Network net(cfg);
+  TilePlan plan(4, 4, 4, McPlacement::kBottom);
+  EchoConfig ecfg;
+  ecfg.request_rate = 0.005;  // nearly unloaded
+  ecfg.service_latency = 50;
+  RequestReplyEcho echo(net, plan, ecfg);
+  for (int c = 0; c < 6000; ++c) {
+    echo.Tick();
+    net.Tick();
+  }
+  ASSERT_GT(echo.replies_received(), 10u);
+  // Unloaded round trip >= service latency + a few hops each way.
+  EXPECT_GT(echo.round_trip().mean(), 50.0);
+  EXPECT_LT(echo.round_trip().mean(), 200.0);
+}
+
+TEST(TrafficPatternTest, Names) {
+  EXPECT_STREQ(TrafficPatternName(TrafficPattern::kUniformRandom),
+               "uniform-random");
+  EXPECT_STREQ(TrafficPatternName(TrafficPattern::kHotspot), "hotspot");
+  EXPECT_STREQ(TrafficPatternName(TrafficPattern::kTornado), "tornado");
+  EXPECT_STREQ(TrafficPatternName(TrafficPattern::kNeighbor), "neighbor");
+  EXPECT_STREQ(TrafficPatternName(TrafficPattern::kShuffle), "shuffle");
+}
+
+TEST(TrafficPatternTest, ParseNames) {
+  EXPECT_EQ(ParseTrafficPattern("uniform"), TrafficPattern::kUniformRandom);
+  EXPECT_EQ(ParseTrafficPattern("transpose"), TrafficPattern::kTranspose);
+  EXPECT_EQ(ParseTrafficPattern("bitrev"), TrafficPattern::kBitReverse);
+  EXPECT_EQ(ParseTrafficPattern("hotspot"), TrafficPattern::kHotspot);
+  EXPECT_EQ(ParseTrafficPattern("tornado"), TrafficPattern::kTornado);
+  EXPECT_EQ(ParseTrafficPattern("neighbor"), TrafficPattern::kNeighbor);
+  EXPECT_EQ(ParseTrafficPattern("shuffle"), TrafficPattern::kShuffle);
+  EXPECT_THROW(ParseTrafficPattern("nope"), std::invalid_argument);
+}
+
+// Deterministic pattern targets and delivery, for each new pattern.
+class PatternSweepTest : public ::testing::TestWithParam<TrafficPattern> {};
+
+TEST_P(PatternSweepTest, DeliversAtLowLoadWithoutDeadlock) {
+  Network net(Cfg(4, 4));
+  OpenLoopConfig tcfg;
+  tcfg.pattern = GetParam();
+  tcfg.injection_rate = 0.05;
+  tcfg.packet_size = 2;
+  if (tcfg.pattern == TrafficPattern::kHotspot) tcfg.hotspots = {5};
+  OpenLoopTraffic traffic(net, tcfg);
+  for (int c = 0; c < 1500; ++c) {
+    traffic.Tick();
+    net.Tick();
+  }
+  ASSERT_TRUE(net.Drain(10000));
+  EXPECT_FALSE(net.Deadlocked());
+  const auto s = net.Summarize();
+  EXPECT_EQ(s.packets_ejected[0] + s.packets_ejected[1] + traffic.dropped(),
+            traffic.generated());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, PatternSweepTest,
+    ::testing::Values(TrafficPattern::kUniformRandom,
+                      TrafficPattern::kTranspose, TrafficPattern::kBitReverse,
+                      TrafficPattern::kHotspot, TrafficPattern::kTornado,
+                      TrafficPattern::kNeighbor, TrafficPattern::kShuffle),
+    [](const auto& info) {
+      std::string n = TrafficPatternName(info.param);
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(TrafficPatternTest, NeighborAndTornadoTargets) {
+  Network net(Cfg(4, 4));
+  // Tornado on width 4: shift = 1 -> (x+1) mod 4 on the same row; neighbor
+  // likewise shifts by exactly one column. Verify via delivered traffic:
+  // every packet travels within its row.
+  for (auto pattern : {TrafficPattern::kTornado, TrafficPattern::kNeighbor}) {
+    Network fresh(Cfg(4, 4));
+    OpenLoopConfig tcfg;
+    tcfg.pattern = pattern;
+    tcfg.injection_rate = 0.2;
+    tcfg.packet_size = 1;
+    OpenLoopTraffic traffic(fresh, tcfg);
+    for (int c = 0; c < 300; ++c) {
+      traffic.Tick();
+      fresh.Tick();
+    }
+    fresh.Drain(5000);
+    // No vertical links used: row-local pattern.
+    for (NodeId n = 0; n < fresh.num_nodes(); ++n) {
+      for (auto cls : {TrafficClass::kRequest, TrafficClass::kReply}) {
+        EXPECT_EQ(fresh.LinkFlits(n, Port::kNorth, cls), 0u)
+            << TrafficPatternName(pattern);
+        EXPECT_EQ(fresh.LinkFlits(n, Port::kSouth, cls), 0u)
+            << TrafficPatternName(pattern);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -1,0 +1,116 @@
+// Tests for the synthetic workload profiles (paper-calibration properties).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analytic/traffic_model.hpp"
+#include "gpgpu/workload.hpp"
+
+namespace gnoc {
+namespace {
+
+TEST(WorkloadTest, TwentyFiveBenchmarks) {
+  // The paper evaluates 25 benchmarks across four suites.
+  EXPECT_EQ(PaperWorkloads().size(), 25u);
+  std::set<std::string> names;
+  std::set<std::string> suites;
+  for (const auto& w : PaperWorkloads()) {
+    names.insert(w.name);
+    suites.insert(w.suite);
+  }
+  EXPECT_EQ(names.size(), 25u) << "duplicate benchmark names";
+  EXPECT_EQ(suites.size(), 4u) << "CUDA SDK, ISPASS, Rodinia, MapReduce";
+}
+
+TEST(WorkloadTest, FindByName) {
+  EXPECT_EQ(FindWorkload("BFS").name, "BFS");
+  EXPECT_EQ(FindWorkload("RAY").suite, "ISPASS");
+  EXPECT_THROW(FindWorkload("NOPE"), std::invalid_argument);
+}
+
+TEST(WorkloadTest, NamesMatchProfiles) {
+  const auto names = WorkloadNames();
+  ASSERT_EQ(names.size(), PaperWorkloads().size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], PaperWorkloads()[i].name);
+  }
+}
+
+TEST(WorkloadTest, ParametersAreValidProbabilities) {
+  for (const auto& w : PaperWorkloads()) {
+    EXPECT_GT(w.mem_ratio, 0.0) << w.name;
+    EXPECT_LE(w.mem_ratio, 1.0) << w.name;
+    EXPECT_GE(w.read_fraction, 0.0) << w.name;
+    EXPECT_LE(w.read_fraction, 1.0) << w.name;
+    EXPECT_GE(w.l1_miss_rate, 0.0) << w.name;
+    EXPECT_LE(w.l1_miss_rate, 1.0) << w.name;
+    EXPECT_GE(w.write_traffic_rate, 0.0) << w.name;
+    EXPECT_LE(w.write_traffic_rate, 1.0) << w.name;
+    EXPECT_GE(w.spatial_locality, 0.0) << w.name;
+    EXPECT_LE(w.spatial_locality, 1.0) << w.name;
+    EXPECT_GT(w.working_set_lines, 0) << w.name;
+    EXPECT_GE(w.write_request_flits, 3) << w.name;  // paper: 3..5 flits
+    EXPECT_LE(w.write_request_flits, 5) << w.name;
+  }
+}
+
+TEST(WorkloadTest, RayIsTheWriteHeavyException) {
+  // Fig. 2/3: RAY sends more request traffic than reply traffic.
+  const auto& ray = FindWorkload("RAY");
+  EXPECT_LT(ray.read_fraction, 0.5);
+  for (const auto& w : PaperWorkloads()) {
+    if (w.name != "RAY") {
+      EXPECT_GT(w.read_fraction, 0.5) << w.name;
+    }
+  }
+}
+
+TEST(WorkloadTest, IntensityClassesExist) {
+  // The suite must span compute-bound and memory-bound behaviour for the
+  // paper's speedup distribution to make sense.
+  int compute_bound = 0;
+  int memory_bound = 0;
+  for (const auto& w : PaperWorkloads()) {
+    const double rate = w.ExpectedRequestRate();
+    if (rate < 0.01) ++compute_bound;
+    if (rate > 0.05) ++memory_bound;
+  }
+  EXPECT_GE(compute_bound, 4);
+  EXPECT_GE(memory_bound, 8);
+}
+
+TEST(WorkloadTest, AggregateFlitRatioNearPaper) {
+  // Fig. 2: the average reply:request flit ratio is around 2. Evaluate
+  // Eq. 1 per profile at the MC-level read share and average.
+  double ratio_sum = 0.0;
+  int counted = 0;
+  for (const auto& w : PaperWorkloads()) {
+    const double reads = w.read_fraction * w.l1_miss_rate;
+    const double writes = (1.0 - w.read_fraction) * w.write_traffic_rate;
+    if (reads + writes <= 0.0) continue;
+    TrafficModelInput in;
+    in.read_fraction = reads / (reads + writes);
+    in.sizes.write_request = w.write_request_flits;
+    ratio_sum += EvaluateTrafficModel(in).ratio;
+    ++counted;
+  }
+  const double mean_ratio = ratio_sum / counted;
+  EXPECT_GT(mean_ratio, 1.6);
+  EXPECT_LT(mean_ratio, 2.8);
+}
+
+TEST(WorkloadTest, MakeSyntheticHitsRequestedRate) {
+  const auto w = MakeSyntheticWorkload("custom", 0.05, 0.8, 0.6, 1000);
+  EXPECT_EQ(w.name, "custom");
+  EXPECT_NEAR(w.ExpectedRequestRate(), 0.05, 1e-9);
+  EXPECT_EQ(w.working_set_lines, 1000);
+}
+
+TEST(WorkloadTest, MakeSyntheticClampsImpossibleRate) {
+  // A request rate above the structural maximum clamps mem_ratio to 1.
+  const auto w = MakeSyntheticWorkload("hot", 10.0, 0.8, 0.5, 100);
+  EXPECT_LE(w.mem_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace gnoc
