@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_asymmetric_partitioning"
+  "../bench/fig10_asymmetric_partitioning.pdb"
+  "CMakeFiles/fig10_asymmetric_partitioning.dir/fig10_asymmetric_partitioning.cpp.o"
+  "CMakeFiles/fig10_asymmetric_partitioning.dir/fig10_asymmetric_partitioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_asymmetric_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_traffic_volumes"
+  "../bench/fig2_traffic_volumes.pdb"
+  "CMakeFiles/fig2_traffic_volumes.dir/fig2_traffic_volumes.cpp.o"
+  "CMakeFiles/fig2_traffic_volumes.dir/fig2_traffic_volumes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_traffic_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_traffic_volumes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_packet_distribution"
+  "../bench/fig3_packet_distribution.pdb"
+  "CMakeFiles/fig3_packet_distribution.dir/fig3_packet_distribution.cpp.o"
+  "CMakeFiles/fig3_packet_distribution.dir/fig3_packet_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_packet_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_link_utilization"
+  "../bench/fig4_link_utilization.pdb"
+  "CMakeFiles/fig4_link_utilization.dir/fig4_link_utilization.cpp.o"
+  "CMakeFiles/fig4_link_utilization.dir/fig4_link_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_link_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_vc_monopolizing"
+  "../bench/fig8_vc_monopolizing.pdb"
+  "CMakeFiles/fig8_vc_monopolizing.dir/fig8_vc_monopolizing.cpp.o"
+  "CMakeFiles/fig8_vc_monopolizing.dir/fig8_vc_monopolizing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vc_monopolizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_mc_placement"
+  "../bench/fig9_mc_placement.pdb"
+  "CMakeFiles/fig9_mc_placement.dir/fig9_mc_placement.cpp.o"
+  "CMakeFiles/fig9_mc_placement.dir/fig9_mc_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mc_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

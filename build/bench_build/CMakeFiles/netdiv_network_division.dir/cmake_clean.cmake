@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/netdiv_network_division"
+  "../bench/netdiv_network_division.pdb"
+  "CMakeFiles/netdiv_network_division.dir/netdiv_network_division.cpp.o"
+  "CMakeFiles/netdiv_network_division.dir/netdiv_network_division.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netdiv_network_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

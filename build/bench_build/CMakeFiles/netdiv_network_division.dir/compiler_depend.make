@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for netdiv_network_division.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for netdiv_network_division.
+# This may be replaced when dependencies are built.

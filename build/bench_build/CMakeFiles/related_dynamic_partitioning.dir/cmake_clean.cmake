@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/related_dynamic_partitioning"
+  "../bench/related_dynamic_partitioning.pdb"
+  "CMakeFiles/related_dynamic_partitioning.dir/related_dynamic_partitioning.cpp.o"
+  "CMakeFiles/related_dynamic_partitioning.dir/related_dynamic_partitioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_dynamic_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/router_micro"
+  "../bench/router_micro.pdb"
+  "CMakeFiles/router_micro.dir/router_micro.cpp.o"
+  "CMakeFiles/router_micro.dir/router_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

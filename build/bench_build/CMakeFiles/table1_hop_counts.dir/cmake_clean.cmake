@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_hop_counts"
+  "../bench/table1_hop_counts.pdb"
+  "CMakeFiles/table1_hop_counts.dir/table1_hop_counts.cpp.o"
+  "CMakeFiles/table1_hop_counts.dir/table1_hop_counts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hop_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

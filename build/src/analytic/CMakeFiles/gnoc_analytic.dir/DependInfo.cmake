@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/hop_count.cpp" "src/analytic/CMakeFiles/gnoc_analytic.dir/hop_count.cpp.o" "gcc" "src/analytic/CMakeFiles/gnoc_analytic.dir/hop_count.cpp.o.d"
+  "/root/repo/src/analytic/link_coefficients.cpp" "src/analytic/CMakeFiles/gnoc_analytic.dir/link_coefficients.cpp.o" "gcc" "src/analytic/CMakeFiles/gnoc_analytic.dir/link_coefficients.cpp.o.d"
+  "/root/repo/src/analytic/traffic_model.cpp" "src/analytic/CMakeFiles/gnoc_analytic.dir/traffic_model.cpp.o" "gcc" "src/analytic/CMakeFiles/gnoc_analytic.dir/traffic_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/gnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

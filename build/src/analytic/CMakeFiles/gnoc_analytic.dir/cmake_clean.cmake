@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnoc_analytic.dir/hop_count.cpp.o"
+  "CMakeFiles/gnoc_analytic.dir/hop_count.cpp.o.d"
+  "CMakeFiles/gnoc_analytic.dir/link_coefficients.cpp.o"
+  "CMakeFiles/gnoc_analytic.dir/link_coefficients.cpp.o.d"
+  "CMakeFiles/gnoc_analytic.dir/traffic_model.cpp.o"
+  "CMakeFiles/gnoc_analytic.dir/traffic_model.cpp.o.d"
+  "libgnoc_analytic.a"
+  "libgnoc_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnoc_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnoc_analytic.a"
+)

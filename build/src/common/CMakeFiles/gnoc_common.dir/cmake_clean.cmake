@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnoc_common.dir/config.cpp.o"
+  "CMakeFiles/gnoc_common.dir/config.cpp.o.d"
+  "CMakeFiles/gnoc_common.dir/log.cpp.o"
+  "CMakeFiles/gnoc_common.dir/log.cpp.o.d"
+  "CMakeFiles/gnoc_common.dir/rng.cpp.o"
+  "CMakeFiles/gnoc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gnoc_common.dir/stats.cpp.o"
+  "CMakeFiles/gnoc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gnoc_common.dir/table.cpp.o"
+  "CMakeFiles/gnoc_common.dir/table.cpp.o.d"
+  "CMakeFiles/gnoc_common.dir/types.cpp.o"
+  "CMakeFiles/gnoc_common.dir/types.cpp.o.d"
+  "libgnoc_common.a"
+  "libgnoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

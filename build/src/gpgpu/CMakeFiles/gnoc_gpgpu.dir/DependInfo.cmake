@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpgpu/cache.cpp" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/cache.cpp.o" "gcc" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/cache.cpp.o.d"
+  "/root/repo/src/gpgpu/dram.cpp" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/dram.cpp.o" "gcc" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/dram.cpp.o.d"
+  "/root/repo/src/gpgpu/mc.cpp" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/mc.cpp.o" "gcc" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/mc.cpp.o.d"
+  "/root/repo/src/gpgpu/sm.cpp" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/sm.cpp.o" "gcc" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/sm.cpp.o.d"
+  "/root/repo/src/gpgpu/workload.cpp" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/workload.cpp.o" "gcc" "src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/gnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

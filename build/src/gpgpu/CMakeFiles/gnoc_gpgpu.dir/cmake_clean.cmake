@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnoc_gpgpu.dir/cache.cpp.o"
+  "CMakeFiles/gnoc_gpgpu.dir/cache.cpp.o.d"
+  "CMakeFiles/gnoc_gpgpu.dir/dram.cpp.o"
+  "CMakeFiles/gnoc_gpgpu.dir/dram.cpp.o.d"
+  "CMakeFiles/gnoc_gpgpu.dir/mc.cpp.o"
+  "CMakeFiles/gnoc_gpgpu.dir/mc.cpp.o.d"
+  "CMakeFiles/gnoc_gpgpu.dir/sm.cpp.o"
+  "CMakeFiles/gnoc_gpgpu.dir/sm.cpp.o.d"
+  "CMakeFiles/gnoc_gpgpu.dir/workload.cpp.o"
+  "CMakeFiles/gnoc_gpgpu.dir/workload.cpp.o.d"
+  "libgnoc_gpgpu.a"
+  "libgnoc_gpgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnoc_gpgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

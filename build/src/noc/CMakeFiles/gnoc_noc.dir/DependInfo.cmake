@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/arbiter.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/arbiter.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/arbiter.cpp.o.d"
+  "/root/repo/src/noc/deadlock.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/deadlock.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/deadlock.cpp.o.d"
+  "/root/repo/src/noc/fabric.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/fabric.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/fabric.cpp.o.d"
+  "/root/repo/src/noc/ideal.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/ideal.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/ideal.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/nic.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/nic.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/nic.cpp.o.d"
+  "/root/repo/src/noc/packet.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/packet.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/packet.cpp.o.d"
+  "/root/repo/src/noc/placement.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/placement.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/placement.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/routing.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/routing.cpp.o.d"
+  "/root/repo/src/noc/trace.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/trace.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/trace.cpp.o.d"
+  "/root/repo/src/noc/traffic.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/traffic.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/traffic.cpp.o.d"
+  "/root/repo/src/noc/vc_policy.cpp" "src/noc/CMakeFiles/gnoc_noc.dir/vc_policy.cpp.o" "gcc" "src/noc/CMakeFiles/gnoc_noc.dir/vc_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnoc_noc.dir/arbiter.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/arbiter.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/deadlock.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/deadlock.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/fabric.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/fabric.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/ideal.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/ideal.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/network.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/network.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/nic.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/nic.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/packet.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/packet.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/placement.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/placement.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/router.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/router.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/routing.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/trace.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/trace.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/traffic.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/traffic.cpp.o.d"
+  "CMakeFiles/gnoc_noc.dir/vc_policy.cpp.o"
+  "CMakeFiles/gnoc_noc.dir/vc_policy.cpp.o.d"
+  "libgnoc_noc.a"
+  "libgnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/gnoc_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/gnoc_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/gpu_config.cpp" "src/sim/CMakeFiles/gnoc_sim.dir/gpu_config.cpp.o" "gcc" "src/sim/CMakeFiles/gnoc_sim.dir/gpu_config.cpp.o.d"
+  "/root/repo/src/sim/gpu_system.cpp" "src/sim/CMakeFiles/gnoc_sim.dir/gpu_system.cpp.o" "gcc" "src/sim/CMakeFiles/gnoc_sim.dir/gpu_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpgpu/CMakeFiles/gnoc_gpgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnoc_sim.dir/experiment.cpp.o"
+  "CMakeFiles/gnoc_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/gnoc_sim.dir/gpu_config.cpp.o"
+  "CMakeFiles/gnoc_sim.dir/gpu_config.cpp.o.d"
+  "CMakeFiles/gnoc_sim.dir/gpu_system.cpp.o"
+  "CMakeFiles/gnoc_sim.dir/gpu_system.cpp.o.d"
+  "libgnoc_sim.a"
+  "libgnoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnoc_sim.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_channel.dir/test_buffer_channel.cpp.o"
+  "CMakeFiles/test_buffer_channel.dir/test_buffer_channel.cpp.o.d"
+  "test_buffer_channel"
+  "test_buffer_channel.pdb"
+  "test_buffer_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sm_mc.dir/test_sm_mc.cpp.o"
+  "CMakeFiles/test_sm_mc.dir/test_sm_mc.cpp.o.d"
+  "test_sm_mc"
+  "test_sm_mc.pdb"
+  "test_sm_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sm_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

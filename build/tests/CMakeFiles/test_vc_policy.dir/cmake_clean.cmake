@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vc_policy.dir/test_vc_policy.cpp.o"
+  "CMakeFiles/test_vc_policy.dir/test_vc_policy.cpp.o.d"
+  "test_vc_policy"
+  "test_vc_policy.pdb"
+  "test_vc_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vc_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
