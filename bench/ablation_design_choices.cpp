@@ -9,7 +9,9 @@
 //     reply networks more tightly.
 //
 // Each ablation reports IPC on one memory-bound workload for the baseline
-// and the proposed (YX + fully monopolized) configuration.
+// and the proposed (YX + fully monopolized) configuration. Every section is
+// one sweep over its parameterized schemes, so the variants run in
+// parallel (threads=N).
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -17,88 +19,121 @@
 namespace {
 
 using namespace gnoc;
+using namespace gnoc::bench;
 
-double RunIpc(GpuConfig cfg, const WorkloadProfile& w,
-              const RunLengths& lengths) {
-  GpuSystem gpu(cfg, w);
-  return gpu.Run(lengths.warmup, lengths.measure).ipc;
+GpuConfig Monopolized(GpuConfig base) {
+  base.routing = RoutingAlgorithm::kYX;
+  base.vc_policy = VcPolicyKind::kFullMonopolize;
+  return base;
+}
+
+/// Runs `schemes` on the single ablation workload, in parallel.
+SweepResult Sweep(const std::vector<SchemeSpec>& schemes,
+                  const WorkloadProfile& workload, const BenchOptions& opts) {
+  SweepOptions sweep_opts = SweepOpts(opts);
+  sweep_opts.progress = nullptr;  // sections are short; keep stderr clean
+  return RunSweep(schemes, {workload}, sweep_opts);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace gnoc::bench;
-
   const BenchOptions opts = ParseBenchOptions(argc, argv);
   const WorkloadProfile& workload =
       FindWorkload(opts.raw.GetString("workload", "KMN"));
   std::cout << SectionHeader("Ablation — design choices (workload: " +
                              workload.name + ")");
+  BenchReport report("ablation_design_choices", opts);
+
+  const auto ipc = [&workload](const SweepResult& r, const std::string& s) {
+    return r.Get(s, workload.name).ipc;
+  };
 
   // 1. Atomic VC reallocation.
   {
-    TextTable table({"VC reallocation", "XY split IPC", "YX mono IPC",
-                     "mono speedup"});
+    std::vector<SchemeSpec> schemes;
     for (bool atomic : {true, false}) {
       GpuConfig base = GpuConfig::Baseline();
       base.atomic_vc_realloc = atomic;
-      GpuConfig mono = base;
-      mono.routing = RoutingAlgorithm::kYX;
-      mono.vc_policy = VcPolicyKind::kFullMonopolize;
-      const double base_ipc = RunIpc(base, workload, opts.lengths);
-      const double mono_ipc = RunIpc(mono, workload, opts.lengths);
+      const std::string tag = atomic ? "atomic" : "non-atomic";
+      schemes.push_back({"base " + tag, base});
+      schemes.push_back({"mono " + tag, Monopolized(base)});
+    }
+    const SweepResult r = Sweep(schemes, workload, opts);
+    TextTable table({"VC reallocation", "XY split IPC", "YX mono IPC",
+                     "mono speedup"});
+    for (bool atomic : {true, false}) {
+      const std::string tag = atomic ? "atomic" : "non-atomic";
+      const double base_ipc = ipc(r, "base " + tag);
+      const double mono_ipc = ipc(r, "mono " + tag);
       table.AddRow({atomic ? "atomic (default)" : "non-atomic",
                     FormatDouble(base_ipc, 2), FormatDouble(mono_ipc, 2),
                     FormatDouble(base_ipc > 0 ? mono_ipc / base_ipc : 0, 3)});
     }
     Emit(table, opts.csv);
+    report.Table("vc_reallocation", table);
     std::cout << "\n";
   }
 
   // 2. VC depth sweep under the baseline and the proposed scheme.
   {
-    TextTable table({"vc_depth", "XY split IPC", "YX mono IPC"});
+    std::vector<SchemeSpec> schemes;
     for (int depth : {2, 4, 8, 16}) {
       GpuConfig base = GpuConfig::Baseline();
       base.vc_depth = depth;
-      GpuConfig mono = base;
-      mono.routing = RoutingAlgorithm::kYX;
-      mono.vc_policy = VcPolicyKind::kFullMonopolize;
-      table.AddRow({std::to_string(depth),
-                    FormatDouble(RunIpc(base, workload, opts.lengths), 2),
-                    FormatDouble(RunIpc(mono, workload, opts.lengths), 2)});
+      schemes.push_back({"base d" + std::to_string(depth), base});
+      schemes.push_back({"mono d" + std::to_string(depth), Monopolized(base)});
+    }
+    const SweepResult r = Sweep(schemes, workload, opts);
+    TextTable table({"vc_depth", "XY split IPC", "YX mono IPC"});
+    for (int depth : {2, 4, 8, 16}) {
+      const std::string d = std::to_string(depth);
+      table.AddRow({d, FormatDouble(ipc(r, "base d" + d), 2),
+                    FormatDouble(ipc(r, "mono d" + d), 2)});
     }
     Emit(table, opts.csv);
+    report.Table("vc_depth", table);
     std::cout << "\n";
   }
 
   // 3. MC ejection capacity (protocol coupling strength).
   {
-    TextTable table({"eject_capacity (flits)", "XY split IPC"});
+    std::vector<SchemeSpec> schemes;
     for (int capacity : {8, 16, 32, 64}) {
       GpuConfig base = GpuConfig::Baseline();
       base.eject_capacity = capacity;
-      table.AddRow({std::to_string(capacity),
-                    FormatDouble(RunIpc(base, workload, opts.lengths), 2)});
+      schemes.push_back({"base e" + std::to_string(capacity), base});
+    }
+    const SweepResult r = Sweep(schemes, workload, opts);
+    TextTable table({"eject_capacity (flits)", "XY split IPC"});
+    for (int capacity : {8, 16, 32, 64}) {
+      const std::string e = std::to_string(capacity);
+      table.AddRow({e, FormatDouble(ipc(r, "base e" + e), 2)});
     }
     Emit(table, opts.csv);
+    report.Table("eject_capacity", table);
     std::cout << "\n";
   }
 
   // 4. Arbiter microarchitecture (round-robin vs matrix/LRS).
   {
-    TextTable table({"arbiter", "XY split IPC", "YX mono IPC"});
+    std::vector<SchemeSpec> schemes;
     for (ArbiterKind kind : {ArbiterKind::kRoundRobin, ArbiterKind::kMatrix}) {
       GpuConfig base = GpuConfig::Baseline();
       base.arbiter = kind;
-      GpuConfig mono = base;
-      mono.routing = RoutingAlgorithm::kYX;
-      mono.vc_policy = VcPolicyKind::kFullMonopolize;
-      table.AddRow({ArbiterKindName(kind),
-                    FormatDouble(RunIpc(base, workload, opts.lengths), 2),
-                    FormatDouble(RunIpc(mono, workload, opts.lengths), 2)});
+      const std::string tag = ArbiterKindName(kind);
+      schemes.push_back({"base " + tag, base});
+      schemes.push_back({"mono " + tag, Monopolized(base)});
+    }
+    const SweepResult r = Sweep(schemes, workload, opts);
+    TextTable table({"arbiter", "XY split IPC", "YX mono IPC"});
+    for (ArbiterKind kind : {ArbiterKind::kRoundRobin, ArbiterKind::kMatrix}) {
+      const std::string tag = ArbiterKindName(kind);
+      table.AddRow({tag, FormatDouble(ipc(r, "base " + tag), 2),
+                    FormatDouble(ipc(r, "mono " + tag), 2)});
     }
     Emit(table, opts.csv);
+    report.Table("arbiter", table);
     std::cout << "\n";
   }
 
@@ -106,17 +141,21 @@ int main(int argc, char** argv) {
   // simple in-order scheduler suffices when the NoC preserves row locality
   // — the reason the paper's footnote 1 avoids adaptive routing).
   {
-    TextTable table({"MC scheduler", "XY split IPC", "DRAM row hit rate"});
+    std::vector<SchemeSpec> schemes;
     for (McScheduler sched : {McScheduler::kInOrder, McScheduler::kFrFcfs}) {
       GpuConfig base = GpuConfig::Baseline();
       base.mc.scheduler = sched;
-      GpuSystem gpu(base, workload);
-      const GpuRunStats stats =
-          gpu.Run(opts.lengths.warmup, opts.lengths.measure);
+      schemes.push_back({McSchedulerName(sched), base});
+    }
+    const SweepResult r = Sweep(schemes, workload, opts);
+    TextTable table({"MC scheduler", "XY split IPC", "DRAM row hit rate"});
+    for (McScheduler sched : {McScheduler::kInOrder, McScheduler::kFrFcfs}) {
+      const GpuRunStats& stats = r.Get(McSchedulerName(sched), workload.name);
       table.AddRow({McSchedulerName(sched), FormatDouble(stats.ipc, 2),
                     FormatDouble(stats.dram_row_hit_rate, 3)});
     }
     Emit(table, opts.csv);
+    report.Table("mc_scheduler", table);
     std::cout << "\n";
   }
 
@@ -124,41 +163,54 @@ int main(int argc, char** argv) {
   // MCs for burst read replies). Matters once VC monopolizing removes the
   // per-VC throughput cap.
   {
-    TextTable table({"MC inject bw (flits/cy)", "XY split IPC",
-                     "YX mono IPC"});
+    std::vector<SchemeSpec> schemes;
     for (int bw : {1, 2, 4}) {
       GpuConfig base = GpuConfig::Baseline();
       base.mc_inject_flits_per_cycle = bw;
-      GpuConfig mono = base;
-      mono.routing = RoutingAlgorithm::kYX;
-      mono.vc_policy = VcPolicyKind::kFullMonopolize;
-      table.AddRow({std::to_string(bw),
-                    FormatDouble(RunIpc(base, workload, opts.lengths), 2),
-                    FormatDouble(RunIpc(mono, workload, opts.lengths), 2)});
+      schemes.push_back({"base b" + std::to_string(bw), base});
+      schemes.push_back({"mono b" + std::to_string(bw), Monopolized(base)});
+    }
+    const SweepResult r = Sweep(schemes, workload, opts);
+    TextTable table({"MC inject bw (flits/cy)", "XY split IPC",
+                     "YX mono IPC"});
+    for (int bw : {1, 2, 4}) {
+      const std::string b = std::to_string(bw);
+      table.AddRow({b, FormatDouble(ipc(r, "base b" + b), 2),
+                    FormatDouble(ipc(r, "mono b" + b), 2)});
     }
     Emit(table, opts.csv);
+    report.Table("mc_inject_bandwidth", table);
     std::cout << "\n";
   }
 
   // 7. Memory-coalescing degree: divergence multiplies transactions per
   // load, loading the NoC harder and widening the routing/monopolizing gap.
+  // Here the *workloads* vary: one divergent profile per degree.
   {
-    TextTable table(
-        {"coalescing degree", "XY split IPC", "YX mono IPC", "mono speedup"});
+    std::vector<WorkloadProfile> divergent_set;
     for (int degree : {1, 2, 4}) {
       WorkloadProfile divergent = workload;
+      divergent.name = workload.name + " x" + std::to_string(degree);
       divergent.coalescing_degree = degree;
-      GpuConfig base = GpuConfig::Baseline();
-      GpuConfig mono = base;
-      mono.routing = RoutingAlgorithm::kYX;
-      mono.vc_policy = VcPolicyKind::kFullMonopolize;
-      const double base_ipc = RunIpc(base, divergent, opts.lengths);
-      const double mono_ipc = RunIpc(mono, divergent, opts.lengths);
-      table.AddRow({std::to_string(degree), FormatDouble(base_ipc, 2),
-                    FormatDouble(mono_ipc, 2),
+      divergent_set.push_back(divergent);
+    }
+    const std::vector<SchemeSpec> schemes{
+        {"base", GpuConfig::Baseline()},
+        {"mono", Monopolized(GpuConfig::Baseline())}};
+    SweepOptions sweep_opts = SweepOpts(opts);
+    sweep_opts.progress = nullptr;
+    const SweepResult r = RunSweep(schemes, divergent_set, sweep_opts);
+    TextTable table(
+        {"coalescing degree", "XY split IPC", "YX mono IPC", "mono speedup"});
+    for (const WorkloadProfile& divergent : divergent_set) {
+      const double base_ipc = r.Get("base", divergent.name).ipc;
+      const double mono_ipc = r.Get("mono", divergent.name).ipc;
+      table.AddRow({std::to_string(divergent.coalescing_degree),
+                    FormatDouble(base_ipc, 2), FormatDouble(mono_ipc, 2),
                     FormatDouble(base_ipc > 0 ? mono_ipc / base_ipc : 0, 3)});
     }
     Emit(table, opts.csv);
+    report.Table("coalescing_degree", table);
   }
   return 0;
 }

@@ -4,17 +4,27 @@
 //   scale=0.25        shrink warmup/measure cycles (quick smoke run)
 //   workloads=BFS,KMN restrict the benchmark set
 //   csv=true          emit CSV instead of aligned tables
+//   threads=4         parallel sweep workers (0/default: one per core;
+//                     results are identical for any thread count)
+//   json=out.json     also write the figure's results as structured JSON
 #pragma once
 
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
@@ -26,8 +36,50 @@ struct BenchOptions {
   RunLengths lengths;
   std::vector<WorkloadProfile> workloads;
   bool csv = false;
+  int threads = 0;        ///< sweep workers; 0 = one per hardware thread
+  std::string json_path;  ///< empty = no JSON output
   Config raw;
 };
+
+/// Strips leading/trailing ASCII whitespace.
+inline std::string TrimToken(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+/// Parses a "workloads=" list: comma separated names, whitespace trimmed,
+/// empty tokens skipped. Unknown names throw with the full list of valid
+/// names in the message.
+inline std::vector<WorkloadProfile> ParseWorkloadList(const std::string& list) {
+  std::vector<std::string> names;
+  std::istringstream iss(list);
+  std::string token;
+  while (std::getline(iss, token, ',')) {
+    token = TrimToken(token);
+    if (!token.empty()) names.push_back(token);
+  }
+  if (names.empty()) return AllWorkloads();
+  try {
+    return WorkloadSubset(names);
+  } catch (const std::invalid_argument& e) {
+    std::string valid;
+    for (const WorkloadProfile& w : AllWorkloads()) {
+      if (!valid.empty()) valid += ", ";
+      valid += w.name;
+    }
+    throw std::invalid_argument(std::string(e.what()) +
+                                "; valid workloads: " + valid);
+  }
+}
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions opts;
@@ -35,35 +87,143 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   const double scale = opts.raw.GetDouble("scale", 1.0);
   opts.lengths = RunLengths{}.Scaled(scale);
   opts.csv = opts.raw.GetBool("csv", false);
-  const std::string list = opts.raw.GetString("workloads", "");
-  if (list.empty()) {
-    opts.workloads = AllWorkloads();
-  } else {
-    std::vector<std::string> names;
-    std::istringstream iss(list);
-    std::string token;
-    while (std::getline(iss, token, ',')) names.push_back(token);
-    opts.workloads = WorkloadSubset(names);
-  }
+  opts.threads = static_cast<int>(opts.raw.GetInt("threads", 0));
+  opts.json_path = opts.raw.GetString("json", "");
+  opts.workloads = ParseWorkloadList(opts.raw.GetString("workloads", ""));
   return opts;
 }
 
+/// Sweep execution knobs from the common options (thread count + ticker).
+inline SweepOptions SweepOpts(const BenchOptions& opts);
+
 /// Stderr progress ticker for long sweeps. Silent when stderr is not a
-/// terminal so piped/tee'd harness output stays clean.
+/// terminal so piped/tee'd harness output stays clean. The sweep engine
+/// already serializes progress calls; the ticker carries its own mutex so
+/// it also stays safe when shared across concurrent sweeps.
 inline ProgressFn StderrProgress() {
   if (isatty(fileno(stderr)) == 0) return nullptr;
-  return [](const std::string& scheme, const std::string& workload, int done,
-            int total) {
+  auto mu = std::make_shared<std::mutex>();
+  return [mu](const std::string& scheme, const std::string& workload, int done,
+              int total) {
+    const std::lock_guard<std::mutex> lock(*mu);
     std::cerr << "\r[" << done + 1 << "/" << total << "] " << scheme << " / "
               << workload << "          " << std::flush;
     if (done + 1 == total) std::cerr << '\n';
   };
 }
 
+inline SweepOptions SweepOpts(const BenchOptions& opts) {
+  SweepOptions out;
+  out.lengths = opts.lengths;
+  out.threads = opts.threads;
+  out.progress = StderrProgress();
+  return out;
+}
+
 /// Prints a table (or CSV) and flushes.
 inline void Emit(const TextTable& table, bool csv) {
   std::cout << (csv ? table.RenderCsv() : table.Render()) << std::flush;
 }
+
+/// Collects one harness's results and, when `json=<path>` was given, writes
+/// them as a single JSON document:
+///
+///   {"figure": "...", "sweeps": {name: <SweepResult::WriteJson>},
+///    "tables": {name: [{column: cell, ...}, ...]},
+///    "metrics": {name: value}}
+///
+/// Drivers call Sweep()/Table()/Metric() as they produce output and Write()
+/// (or the destructor) at the end. All methods are cheap no-ops when no
+/// JSON output was requested.
+class BenchReport {
+ public:
+  BenchReport(std::string figure, const BenchOptions& opts)
+      : figure_(std::move(figure)), path_(opts.json_path) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    try {
+      Write();
+    } catch (const std::exception& e) {
+      std::cerr << "bench json: " << e.what() << '\n';
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records a sweep (serialized with per-cell stats and speedups vs
+  /// `baseline`; empty baseline = first scheme).
+  void Sweep(const std::string& name, const SweepResult& result,
+             const std::string& baseline = "") {
+    if (enabled()) sweeps_.emplace_back(name, SweepEntry{result, baseline});
+  }
+
+  /// Records a rendered table as an array of {column: cell} row objects.
+  void Table(const std::string& name, const TextTable& table) {
+    if (enabled()) tables_.emplace_back(name, table);
+  }
+
+  /// Records a headline scalar (e.g. a measured geomean).
+  void Metric(const std::string& name, double value) {
+    if (enabled()) metrics_.emplace_back(name, value);
+  }
+
+  /// Writes the document to the json= path; idempotent, no-op when JSON
+  /// output is off.
+  void Write() {
+    if (!enabled() || written_) return;
+    std::ofstream out(path_);
+    if (!out) {
+      throw std::runtime_error("cannot write JSON file: '" + path_ + "'");
+    }
+    JsonWriter w(out);
+    w.BeginObject();
+    w.Key("figure").Value(figure_);
+    w.Key("sweeps").BeginObject();
+    for (const auto& [name, entry] : sweeps_) {
+      w.Key(name);
+      entry.result.WriteJson(w, entry.baseline);
+    }
+    w.EndObject();
+    w.Key("tables").BeginObject();
+    for (const auto& [name, table] : tables_) {
+      w.Key(name).BeginArray();
+      for (const auto& row : table.rows()) {
+        w.BeginObject();
+        for (std::size_t c = 0; c < table.header().size(); ++c) {
+          w.Key(table.header()[c]).Value(c < row.size() ? row[c] : "");
+        }
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+    w.Key("metrics").BeginObject();
+    for (const auto& [name, value] : metrics_) w.Key(name).Value(value);
+    w.EndObject();
+    w.EndObject();
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("error writing JSON file: '" + path_ + "'");
+    }
+    written_ = true;
+  }
+
+ private:
+  struct SweepEntry {
+    SweepResult result;
+    std::string baseline;
+  };
+
+  std::string figure_;
+  std::string path_;
+  bool written_ = false;
+  std::vector<std::pair<std::string, SweepEntry>> sweeps_;
+  std::vector<std::pair<std::string, TextTable>> tables_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// Prints the per-workload speedups of each scheme vs a baseline plus the
 /// geometric mean row, in the layout the paper's bar figures use.

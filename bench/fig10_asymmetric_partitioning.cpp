@@ -29,7 +29,10 @@ int main(int argc, char** argv) {
   const std::vector<SchemeSpec> schemes{{"Baseline (2:2)", base},
                                         {"VC Partitioned (1:3)", asym}};
   const SweepResult result =
-      RunSweep(schemes, opts.workloads, opts.lengths, StderrProgress());
+      RunSweep(schemes, opts.workloads, SweepOpts(opts));
+
+  BenchReport report("fig10_asymmetric_partitioning", opts);
+  report.Sweep("xyyx_partitioning", result, "Baseline (2:2)");
 
   PrintSpeedupFigure(result, "Baseline (2:2)", {"VC Partitioned (1:3)"},
                      opts.csv);
@@ -54,7 +57,13 @@ int main(int argc, char** argv) {
   const std::vector<SchemeSpec> d_schemes{{"Diamond (2:2)", d_base},
                                           {"Diamond (1:3)", d_asym}};
   const SweepResult d_result =
-      RunSweep(d_schemes, opts.workloads, opts.lengths, StderrProgress());
+      RunSweep(d_schemes, opts.workloads, SweepOpts(opts));
+  report.Sweep("diamond_partitioning", d_result, "Diamond (2:2)");
+  report.Metric("geomean_xyyx",
+                result.GeomeanSpeedup("VC Partitioned (1:3)",
+                                      "Baseline (2:2)"));
+  report.Metric("geomean_diamond",
+                d_result.GeomeanSpeedup("Diamond (1:3)", "Diamond (2:2)"));
   std::cout << "Measured geomean (diamond): "
             << FormatDouble(
                    d_result.GeomeanSpeedup("Diamond (1:3)", "Diamond (2:2)"), 3)

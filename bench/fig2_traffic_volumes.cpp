@@ -18,31 +18,30 @@ int main(int argc, char** argv) {
       "Fig. 2 — Normalized traffic volumes between cores and MCs "
       "(baseline: bottom MCs, XY routing, 2 split VCs)");
 
-  const GpuConfig cfg = GpuConfig::Baseline();
+  // A one-scheme sweep: the engine parallelizes the 25 baseline runs.
+  const std::vector<SchemeSpec> schemes{{"Baseline", GpuConfig::Baseline()}};
+  const SweepResult result =
+      RunSweep(schemes, opts.workloads, SweepOpts(opts));
+
   TextTable table({"benchmark", "request (core-to-MC)", "reply (MC-to-core)",
                    "reply:request"});
   std::vector<double> ratios;
-  const bool show_progress = isatty(fileno(stderr)) != 0;
-  int done = 0;
   for (const WorkloadProfile& workload : opts.workloads) {
-    ++done;
-    if (show_progress) {
-      std::cerr << "\r[" << done << "/" << opts.workloads.size() << "] "
-                << workload.name << "      " << std::flush;
-    }
-    GpuSystem gpu(cfg, workload);
-    const GpuRunStats stats =
-        gpu.Run(opts.lengths.warmup, opts.lengths.measure);
+    const GpuRunStats& stats = result.Get("Baseline", workload.name);
     const double req = static_cast<double>(stats.request_flits);
     const double rep = static_cast<double>(stats.reply_flits);
     const double ratio = req > 0.0 ? rep / req : 0.0;
     ratios.push_back(ratio);
     table.AddRow(workload.name, {1.0, ratio, ratio}, 2);
   }
-  if (show_progress) std::cerr << '\n';
   table.AddRow("GEOMEAN", {1.0, GeometricMean(ratios), GeometricMean(ratios)},
                2);
   Emit(table, opts.csv);
+
+  BenchReport report("fig2_traffic_volumes", opts);
+  report.Sweep("baseline", result);
+  report.Table("traffic_volumes", table);
+  report.Metric("geomean_reply_to_request", GeometricMean(ratios));
 
   std::cout << "\nPaper reports: reply volume ~2x request volume on average"
                " (R ~ 2 from Eq. 1); RAY is the write-heavy exception with"

@@ -17,21 +17,16 @@ int main(int argc, char** argv) {
   std::cout << SectionHeader(
       "Fig. 3 — Packet type distribution (percent of all packets)");
 
-  const GpuConfig cfg = GpuConfig::Baseline();
+  // A one-scheme sweep: the engine parallelizes the 25 baseline runs.
+  const std::vector<SchemeSpec> schemes{{"Baseline", GpuConfig::Baseline()}};
+  const SweepResult result =
+      RunSweep(schemes, opts.workloads, SweepOpts(opts));
+
   TextTable table({"benchmark", "READ-REQ %", "WRITE-REQ %", "READ-REPLY %",
                    "WRITE-REPLY %"});
   double read_reply_share_sum = 0.0;
-  const bool show_progress = isatty(fileno(stderr)) != 0;
-  int done = 0;
   for (const WorkloadProfile& workload : opts.workloads) {
-    ++done;
-    if (show_progress) {
-      std::cerr << "\r[" << done << "/" << opts.workloads.size() << "] "
-                << workload.name << "      " << std::flush;
-    }
-    GpuSystem gpu(cfg, workload);
-    const GpuRunStats stats =
-        gpu.Run(opts.lengths.warmup, opts.lengths.measure);
+    const GpuRunStats& stats = result.Get("Baseline", workload.name);
     double total = 0.0;
     for (const auto count : stats.packets_by_type) {
       total += static_cast<double>(count);
@@ -49,11 +44,15 @@ int main(int argc, char** argv) {
         shares[static_cast<int>(PacketType::kReadReply)];
     table.AddRow(workload.name, shares, 1);
   }
-  if (show_progress) std::cerr << '\n';
   Emit(table, opts.csv);
+
+  BenchReport report("fig3_packet_distribution", opts);
+  report.Sweep("baseline", result);
+  report.Table("packet_distribution", table);
 
   const double avg_read_reply =
       read_reply_share_sum / static_cast<double>(opts.workloads.size());
+  report.Metric("avg_read_reply_share_pct", avg_read_reply);
   std::cout << "\nPaper reports: on average ~63% of reply-network packets are"
                " read replies (read-dominated mixes); RAY is write-heavy.\n"
             << "Measured: read replies are " << FormatDouble(avg_read_reply, 1)

@@ -80,6 +80,9 @@ int main(int argc, char** argv) {
                   std::to_string(measured)});
   }
   Emit(table, opts.csv);
+
+  BenchReport report("fig4_link_utilization", opts);
+  report.Table("south_link_validation", table);
   std::cout << "\nPaper reports: request and reply traffic never mix on any\n"
                "link under XY/bottom (enabling VC monopolizing); under XY-YX\n"
                "they mix on horizontal links only (partial monopolizing).\n";

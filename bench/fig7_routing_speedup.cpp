@@ -23,9 +23,15 @@ int main(int argc, char** argv) {
   const std::vector<SchemeSpec> schemes{
       {"XY (Baseline)", xy}, {"YX", yx}, {"XY-YX", xyyx}};
   const SweepResult result =
-      RunSweep(schemes, opts.workloads, opts.lengths, StderrProgress());
+      RunSweep(schemes, opts.workloads, SweepOpts(opts));
 
   PrintSpeedupFigure(result, "XY (Baseline)", {"YX", "XY-YX"}, opts.csv);
+
+  BenchReport report("fig7_routing_speedup", opts);
+  report.Sweep("routing_speedup", result, "XY (Baseline)");
+  report.Metric("geomean_yx", result.GeomeanSpeedup("YX", "XY (Baseline)"));
+  report.Metric("geomean_xyyx",
+                result.GeomeanSpeedup("XY-YX", "XY (Baseline)"));
 
   std::cout << "\nPaper reports geomean speed-ups: YX = 1.393, XY-YX = 1.647"
                " (XY-YX best because it removes reply traffic from the MC"

@@ -35,7 +35,17 @@ int main(int argc, char** argv) {
                                         {"YX (Monopolized)", yx_mono},
                                         {"XY-YX (Partially Mono)", xyyx_pm}};
   const SweepResult result =
-      RunSweep(schemes, opts.workloads, opts.lengths, StderrProgress());
+      RunSweep(schemes, opts.workloads, SweepOpts(opts));
+
+  BenchReport report("fig8_vc_monopolizing", opts);
+  report.Sweep("vc_monopolizing", result, "XY (Baseline)");
+  report.Metric("geomean_xy_mono",
+                result.GeomeanSpeedup("XY (Monopolized)", "XY (Baseline)"));
+  report.Metric("geomean_yx_mono",
+                result.GeomeanSpeedup("YX (Monopolized)", "XY (Baseline)"));
+  report.Metric("geomean_xyyx_pm", result.GeomeanSpeedup(
+                                       "XY-YX (Partially Mono)",
+                                       "XY (Baseline)"));
 
   PrintSpeedupFigure(
       result, "XY (Baseline)",

@@ -59,7 +59,14 @@ int main(int argc, char** argv) {
   };
 
   const SweepResult result =
-      RunSweep(schemes, opts.workloads, opts.lengths, StderrProgress());
+      RunSweep(schemes, opts.workloads, SweepOpts(opts));
+
+  BenchReport report("fig9_mc_placement", opts);
+  report.Sweep("mc_placement", result, "Bottom (XY)");
+  report.Metric("geomean_bottom_yx_fm",
+                result.GeomeanSpeedup("Bottom (YX FM)", "Bottom (XY)"));
+  report.Metric("geomean_diamond_yx_pm",
+                result.GeomeanSpeedup("Diamond (YX PM)", "Bottom (XY)"));
 
   std::vector<std::string> columns;
   for (const auto& s : schemes) {

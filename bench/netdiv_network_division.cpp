@@ -26,13 +26,16 @@ int main(int argc, char** argv) {
       {"Two physical networks", phys},
       {"Single net, virtual division", virt}};
   const SweepResult result =
-      RunSweep(schemes, opts.workloads, opts.lengths, StderrProgress());
+      RunSweep(schemes, opts.workloads, SweepOpts(opts));
 
   PrintSpeedupFigure(result, "Two physical networks",
                      {"Single net, virtual division"}, opts.csv);
 
   const double geomean = result.GeomeanSpeedup("Single net, virtual division",
                                                "Two physical networks");
+  BenchReport report("netdiv_network_division", opts);
+  report.Sweep("network_division", result, "Two physical networks");
+  report.Metric("geomean_virtual_vs_physical", geomean);
   std::cout << "\nPaper reports: virtual division within 0.03% of two"
                " physical networks (so the cheap design suffices).\n"
             << "Measured: virtual/physical geomean speedup = "

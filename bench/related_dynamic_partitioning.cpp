@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
                                         {"Static 1:3 (paper)", asym},
                                         {"Dynamic (Lee et al.)", dynamic}};
   const SweepResult result =
-      RunSweep(schemes, opts.workloads, opts.lengths, StderrProgress());
+      RunSweep(schemes, opts.workloads, SweepOpts(opts));
 
   PrintSpeedupFigure(result, "Static 2:2",
                      {"Static 1:3 (paper)", "Dynamic (Lee et al.)"}, opts.csv);
@@ -48,6 +48,10 @@ int main(int argc, char** argv) {
                                                  "Static 2:2");
   const double dyn_gain =
       result.GeomeanSpeedup("Dynamic (Lee et al.)", "Static 2:2");
+  BenchReport report("related_dynamic_partitioning", opts);
+  report.Sweep("vc_partitioning", result, "Static 2:2");
+  report.Metric("geomean_static_1_3", asym_gain);
+  report.Metric("geomean_dynamic", dyn_gain);
   std::cout << "\nPaper's argument (Sec. 5): a static request/reply partition"
                " captures the benefit; a dynamic feedback mechanism adds"
                " hardware without meaningful gain in GPGPUs.\n"

@@ -4,6 +4,9 @@
 // size their sweeps.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "gpgpu/cache.hpp"
 #include "gpgpu/workload.hpp"
@@ -77,4 +80,28 @@ BENCHMARK(BM_GpuCycleLoaded);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the harness accepts the same json=<path> option as the
+// figure drivers (mapped onto google-benchmark's JSON reporter) while
+// still honoring native --benchmark_* flags.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("json=", 0) == 0) {
+      storage.push_back("--benchmark_out=" + arg.substr(5));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

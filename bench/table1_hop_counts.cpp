@@ -34,6 +34,9 @@ int main(int argc, char** argv) {
   }
   Emit(table, opts.csv);
 
+  BenchReport report("table1_hop_counts", opts);
+  report.Table("hop_counts", table);
+
   std::cout << "\nPaper reports (Table 1 closed forms, N x N mesh):\n"
                "  bottom:     Hvert = N^3(N-1)/2,     Hhori = N(N+1)(N-1)^2/3\n"
                "  edge:       Hhori = N^2(N-1)^2/2    (vertical approximate)\n"
@@ -60,5 +63,6 @@ int main(int argc, char** argv) {
     sweep.AddRow("N=" + std::to_string(size), row, 3);
   }
   Emit(sweep, opts.csv);
+  report.Table("hops_vs_mesh_size", sweep);
   return 0;
 }

@@ -3,7 +3,10 @@
 // through the design space — from the XY/split baseline to the paper's best
 // configuration (YX routing with fully monopolized VCs).
 //
-// Usage: routing_comparison [workload=KMN] [scale=1.0]
+// The seven configurations run as one parallel sweep (threads=N; default
+// one worker per core). Results are identical for any thread count.
+//
+// Usage: routing_comparison [workload=KMN] [scale=1.0] [threads=4]
 #include <iostream>
 
 #include "common/config.hpp"
@@ -44,31 +47,40 @@ int main(int argc, char** argv) {
        "disjoint classes + all buffers usable by the heavy class"},
   };
 
-  std::cout << "Workload: " << workload.name << " (" << workload.suite
-            << ")\n\n";
-  TextTable table({"configuration", "IPC", "speedup", "why it helps"});
-  double baseline_ipc = 0.0;
+  std::vector<SchemeSpec> schemes;
   for (const Step& step : steps) {
     GpuConfig cfg = GpuConfig::Baseline();
     cfg.routing = step.routing;
     cfg.vc_policy = step.policy;
-    GpuSystem gpu(cfg, workload);
-    const GpuRunStats stats = gpu.Run(lengths.warmup, lengths.measure);
-    if (baseline_ipc == 0.0) baseline_ipc = stats.ipc;
-    table.AddRow({step.label, FormatDouble(stats.ipc, 2),
-                  FormatDouble(stats.ipc / baseline_ipc, 3), step.why});
+    schemes.push_back({step.label, cfg});
   }
   // Contention-free upper bound for context.
-  {
-    GpuConfig cfg = GpuConfig::Baseline();
-    cfg.ideal_noc = true;
-    GpuSystem gpu(cfg, workload);
-    const GpuRunStats stats = gpu.Run(lengths.warmup, lengths.measure);
-    table.AddRow({"ideal interconnect (upper bound)",
-                  FormatDouble(stats.ipc, 2),
-                  FormatDouble(stats.ipc / baseline_ipc, 3),
-                  "infinite bandwidth, zero contention"});
+  GpuConfig ideal = GpuConfig::Baseline();
+  ideal.ideal_noc = true;
+  schemes.push_back({"ideal interconnect (upper bound)", ideal});
+
+  SweepOptions options;
+  options.lengths = lengths;
+  options.threads = static_cast<int>(args.GetInt("threads", 0));
+  const SweepResult result = RunSweep(schemes, {workload}, options);
+
+  std::cout << "Workload: " << workload.name << " (" << workload.suite
+            << ")\n\n";
+  const double baseline_ipc = result.Get(steps[0].label, workload.name).ipc;
+  TextTable table({"configuration", "IPC", "speedup", "why it helps"});
+  for (const Step& step : steps) {
+    const double ipc = result.Get(step.label, workload.name).ipc;
+    table.AddRow({step.label, FormatDouble(ipc, 2),
+                  FormatDouble(baseline_ipc > 0 ? ipc / baseline_ipc : 0, 3),
+                  step.why});
   }
+  const double ideal_ipc =
+      result.Get("ideal interconnect (upper bound)", workload.name).ipc;
+  table.AddRow({"ideal interconnect (upper bound)",
+                FormatDouble(ideal_ipc, 2),
+                FormatDouble(baseline_ipc > 0 ? ideal_ipc / baseline_ipc : 0,
+                             3),
+                "infinite bandwidth, zero contention"});
   std::cout << table.Render();
   return 0;
 }

@@ -1,0 +1,139 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gnoc {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through unescaped
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  // std::to_chars emits the shortest string that round-trips exactly.
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string(buf, res.ptr);
+}
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {}
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ <= 0) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * indent_; ++i) out_ << ' ';
+}
+
+void JsonWriter::Lead() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().has_items) out_ << ',';
+  stack_.back().has_items = true;
+  NewlineIndent();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Lead();
+  out_ << '{';
+  stack_.push_back({'}'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Lead();
+  out_ << '[';
+  stack_.push_back({']'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  const Scope scope = stack_.back();
+  stack_.pop_back();
+  if (scope.has_items) NewlineIndent();
+  out_ << scope.close;
+  if (stack_.empty() && indent_ > 0) out_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() { return EndObject(); }
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  Lead();
+  out_ << '"' << JsonEscape(key) << "\":";
+  if (indent_ > 0) out_ << ' ';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  Lead();
+  out_ << '"' << JsonEscape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* v) {
+  return Value(std::string(v));
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Lead();
+  out_ << JsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t v) {
+  Lead();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t v) {
+  Lead();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int v) {
+  return Value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Lead();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Lead();
+  out_ << "null";
+  return *this;
+}
+
+}  // namespace gnoc

@@ -1,11 +1,14 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <iostream>
 
 namespace gnoc {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so parallel sweep workers can log while another thread adjusts the
+// level (and so the read in LogEnabled is race-free under TSan).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -19,11 +22,13 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 bool LogEnabled(LogLevel level) {
-  return static_cast<int>(level) <= static_cast<int>(g_level);
+  return static_cast<int>(level) <= static_cast<int>(GetLogLevel());
 }
 
 void LogLine(LogLevel level, const std::string& message) {

@@ -30,6 +30,10 @@ class TextTable {
   std::size_t num_rows() const { return rows_.size(); }
   std::size_t num_cols() const { return header_.size(); }
 
+  /// Cell access for structured (JSON) serialization of a rendered table.
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Renders with column separators and a rule under the header.
   std::string Render() const;
 

@@ -1,0 +1,66 @@
+// A fixed-size thread pool for embarrassingly parallel simulation work.
+//
+// The sweep engine (src/sim/experiment.*) runs independent
+// (scheme, workload) cells on this pool; nothing about it is
+// sweep-specific. Usage:
+//
+//   ThreadPool pool(4);
+//   for (auto& item : items) pool.Submit([&item] { Process(item); });
+//   pool.WaitAll();  // blocks; rethrows the first task exception
+//
+// Tasks must synchronize any shared state themselves; the pool only
+// guarantees that WaitAll() happens-after every submitted task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gnoc {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultThreads().
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Joins the workers after the queued tasks finish. Exceptions not
+  /// collected via WaitAll() are dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks on task execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first exception (in completion order) is rethrown here and the pool is
+  /// reset for further use; the remaining tasks still run to completion.
+  void WaitAll();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// One worker per hardware thread, at least one.
+  static unsigned DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or stop
+  std::condition_variable idle_cv_;   // signals WaitAll: everything drained
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;         // queued + currently running tasks
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gnoc

@@ -1,9 +1,16 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <fstream>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/json.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "noc/packet.hpp"
 
 namespace gnoc {
 
@@ -20,20 +27,29 @@ SweepResult::SweepResult(std::vector<std::string> schemes,
                          std::vector<std::string> workloads)
     : schemes_(std::move(schemes)),
       workloads_(std::move(workloads)),
-      cells_(schemes_.size() * workloads_.size()) {}
+      cells_(schemes_.size() * workloads_.size()) {
+  for (std::size_t i = 0; i < schemes_.size(); ++i) {
+    scheme_index_.emplace(schemes_[i], i);
+  }
+  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+    workload_index_.emplace(workloads_[i], i);
+  }
+}
 
 std::size_t SweepResult::SchemeIndex(const std::string& scheme) const {
-  for (std::size_t i = 0; i < schemes_.size(); ++i) {
-    if (schemes_[i] == scheme) return i;
+  const auto it = scheme_index_.find(scheme);
+  if (it == scheme_index_.end()) {
+    throw std::invalid_argument("unknown scheme: '" + scheme + "'");
   }
-  throw std::invalid_argument("unknown scheme: '" + scheme + "'");
+  return it->second;
 }
 
 std::size_t SweepResult::WorkloadIndex(const std::string& workload) const {
-  for (std::size_t i = 0; i < workloads_.size(); ++i) {
-    if (workloads_[i] == workload) return i;
+  const auto it = workload_index_.find(workload);
+  if (it == workload_index_.end()) {
+    throw std::invalid_argument("unknown workload: '" + workload + "'");
   }
-  throw std::invalid_argument("unknown workload: '" + workload + "'");
+  return it->second;
 }
 
 void SweepResult::Set(const std::string& scheme, const std::string& workload,
@@ -46,6 +62,18 @@ const GpuRunStats& SweepResult::Get(const std::string& scheme,
                                     const std::string& workload) const {
   return cells_[WorkloadIndex(workload) * schemes_.size() +
                 SchemeIndex(scheme)];
+}
+
+std::vector<CellResult> SweepResult::Cells() const {
+  std::vector<CellResult> out;
+  out.reserve(cells_.size());
+  for (std::size_t w = 0; w < workloads_.size(); ++w) {
+    for (std::size_t s = 0; s < schemes_.size(); ++s) {
+      out.push_back(
+          {schemes_[s], workloads_[w], cells_[w * schemes_.size() + s]});
+    }
+  }
+  return out;
 }
 
 double SweepResult::Speedup(const std::string& scheme,
@@ -71,9 +99,124 @@ double SweepResult::GeomeanSpeedup(const std::string& scheme,
   return GeometricMean(Speedups(scheme, baseline_scheme));
 }
 
+namespace {
+
+void WriteStatsJson(JsonWriter& w, const GpuRunStats& stats) {
+  w.Key("ipc").Value(stats.ipc);
+  w.Key("cycles").Value(static_cast<std::uint64_t>(stats.cycles));
+  w.Key("instructions").Value(stats.instructions);
+  w.Key("request_flits").Value(stats.request_flits);
+  w.Key("reply_flits").Value(stats.reply_flits);
+  w.Key("packets_by_type").BeginObject();
+  for (int t = 0; t < kNumPacketTypes; ++t) {
+    w.Key(PacketTypeName(static_cast<PacketType>(t)))
+        .Value(stats.packets_by_type[static_cast<std::size_t>(t)]);
+  }
+  w.EndObject();
+  w.Key("network").BeginObject();
+  for (int c = 0; c < kNumClasses; ++c) {
+    const auto cls = static_cast<std::size_t>(c);
+    w.Key(ClassName(static_cast<TrafficClass>(c))).BeginObject();
+    w.Key("packets_injected").Value(stats.network.packets_injected[cls]);
+    w.Key("packets_ejected").Value(stats.network.packets_ejected[cls]);
+    w.Key("flits_injected").Value(stats.network.flits_injected[cls]);
+    w.Key("flits_ejected").Value(stats.network.flits_ejected[cls]);
+    w.Key("avg_packet_latency").Value(stats.network.packet_latency[cls].mean());
+    w.Key("avg_network_latency")
+        .Value(stats.network.network_latency[cls].mean());
+    w.EndObject();
+  }
+  w.Key("flits_forwarded").Value(stats.network.flits_forwarded);
+  w.EndObject();
+  w.Key("l2_miss_rate").Value(stats.l2_miss_rate);
+  w.Key("dram_row_hit_rate").Value(stats.dram_row_hit_rate);
+  w.Key("avg_read_latency").Value(stats.avg_read_latency);
+  w.Key("deadlocked").Value(stats.deadlocked);
+}
+
+}  // namespace
+
+void SweepResult::WriteJson(JsonWriter& w,
+                            const std::string& baseline_scheme) const {
+  const std::string baseline =
+      baseline_scheme.empty() && !schemes_.empty() ? schemes_.front()
+                                                   : baseline_scheme;
+  w.BeginObject();
+  w.Key("schemes").BeginArray();
+  for (const std::string& s : schemes_) w.Value(s);
+  w.EndArray();
+  w.Key("workloads").BeginArray();
+  for (const std::string& s : workloads_) w.Value(s);
+  w.EndArray();
+  w.Key("baseline").Value(baseline);
+  w.Key("cells").BeginArray();
+  for (const CellResult& cell : Cells()) {
+    w.BeginObject();
+    w.Key("scheme").Value(cell.scheme);
+    w.Key("workload").Value(cell.workload);
+    WriteStatsJson(w, cell.stats);
+    if (!baseline.empty()) {
+      w.Key("speedup").Value(Speedup(cell.scheme, cell.workload, baseline));
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("summary").BeginObject();
+  w.Key("geomean_speedup").BeginObject();
+  if (!baseline.empty()) {
+    for (const std::string& s : schemes_) {
+      w.Key(s).Value(GeomeanSpeedup(s, baseline));
+    }
+  }
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+}
+
+void SweepResult::WriteJson(std::ostream& out,
+                            const std::string& baseline_scheme) const {
+  JsonWriter w(out);
+  WriteJson(w, baseline_scheme);
+}
+
+void SweepResult::WriteJsonFile(const std::string& path,
+                                const std::string& baseline_scheme) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write JSON file: '" + path + "'");
+  }
+  WriteJson(out, baseline_scheme);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("error writing JSON file: '" + path + "'");
+  }
+}
+
+std::vector<SweepCell> EnumerateCells(std::size_t num_schemes,
+                                      std::size_t num_workloads) {
+  std::vector<SweepCell> cells;
+  cells.reserve(num_schemes * num_workloads);
+  for (std::size_t w = 0; w < num_workloads; ++w) {
+    for (std::size_t s = 0; s < num_schemes; ++s) {
+      cells.push_back({s, w});
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+GpuRunStats RunCell(const SchemeSpec& scheme, const WorkloadProfile& workload,
+                    const RunLengths& lengths) {
+  GpuSystem gpu(scheme.config, workload);
+  return gpu.Run(lengths.warmup, lengths.measure);
+}
+
+}  // namespace
+
 SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
                      const std::vector<WorkloadProfile>& workloads,
-                     const RunLengths& lengths, const ProgressFn& progress) {
+                     const SweepOptions& options) {
   std::vector<std::string> scheme_names;
   scheme_names.reserve(schemes.size());
   for (const auto& s : schemes) scheme_names.push_back(s.label);
@@ -82,18 +225,66 @@ SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
   for (const auto& w : workloads) workload_names.push_back(w.name);
 
   SweepResult result(std::move(scheme_names), std::move(workload_names));
-  const int total = static_cast<int>(schemes.size() * workloads.size());
-  int done = 0;
-  for (const WorkloadProfile& workload : workloads) {
-    for (const SchemeSpec& scheme : schemes) {
-      if (progress) progress(scheme.label, workload.name, done, total);
-      GpuSystem gpu(scheme.config, workload);
+  const std::vector<SweepCell> cells =
+      EnumerateCells(schemes.size(), workloads.size());
+  const int total = static_cast<int>(cells.size());
+
+  const unsigned requested = options.threads <= 0
+                                 ? ThreadPool::DefaultThreads()
+                                 : static_cast<unsigned>(options.threads);
+
+  if (requested <= 1) {
+    // Sequential path: run inline in definition order, reporting each cell
+    // as it starts (the engine's original behavior).
+    int done = 0;
+    for (const SweepCell& cell : cells) {
+      const SchemeSpec& scheme = schemes[cell.scheme];
+      const WorkloadProfile& workload = workloads[cell.workload];
+      if (options.progress) {
+        options.progress(scheme.label, workload.name, done, total);
+      }
       result.Set(scheme.label, workload.name,
-                 gpu.Run(lengths.warmup, lengths.measure));
+                 RunCell(scheme, workload, options.lengths));
       ++done;
     }
+    return result;
   }
+
+  // Parallel path: one task per cell. Cells write disjoint slots of the
+  // result matrix, so only progress reporting needs a lock. Progress is
+  // reported at cell *completion* with a monotonic index.
+  const unsigned pool_size =
+      cells.empty() ? 1u
+                    : std::min<unsigned>(requested,
+                                         static_cast<unsigned>(cells.size()));
+  ThreadPool pool(pool_size);
+  std::mutex progress_mu;
+  int done = 0;
+  for (const SweepCell& cell : cells) {
+    pool.Submit([&, cell] {
+      const SchemeSpec& scheme = schemes[cell.scheme];
+      const WorkloadProfile& workload = workloads[cell.workload];
+      GpuRunStats stats = RunCell(scheme, workload, options.lengths);
+      std::lock_guard<std::mutex> lock(progress_mu);
+      result.Set(scheme.label, workload.name, stats);
+      if (options.progress) {
+        options.progress(scheme.label, workload.name, done, total);
+      }
+      ++done;
+    });
+  }
+  pool.WaitAll();
   return result;
+}
+
+SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
+                     const std::vector<WorkloadProfile>& workloads,
+                     const RunLengths& lengths, const ProgressFn& progress) {
+  SweepOptions options;
+  options.lengths = lengths;
+  options.threads = 1;
+  options.progress = progress;
+  return RunSweep(schemes, workloads, options);
 }
 
 const std::vector<WorkloadProfile>& AllWorkloads() { return PaperWorkloads(); }

@@ -4,9 +4,18 @@
 // Every figure in the evaluation (Figs. 7-10) is "IPC of scheme S on
 // workload W, normalized to IPC of the baseline scheme on W", summarized by
 // the geometric mean over workloads. This module provides exactly that.
+//
+// The sweep engine separates sweep *definition* (EnumerateCells: the
+// (scheme, workload) grid in deterministic order) from *execution*
+// (RunSweep: cells dispatched to a thread pool). Each cell constructs its
+// own GpuSystem seeded from its scheme's config and shares no mutable
+// state, so results are bit-identical for any thread count.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,6 +24,8 @@
 #include "sim/gpu_system.hpp"
 
 namespace gnoc {
+
+class JsonWriter;
 
 /// Simulation length for one (configuration, workload) run.
 struct RunLengths {
@@ -29,6 +40,13 @@ struct RunLengths {
 struct SchemeSpec {
   std::string label;
   GpuConfig config;
+};
+
+/// One (scheme, workload) grid position, by index into the sweep's scheme
+/// and workload lists.
+struct SweepCell {
+  std::size_t scheme = 0;
+  std::size_t workload = 0;
 };
 
 /// Result of one (scheme, workload) run.
@@ -52,6 +70,9 @@ class SweepResult {
   const std::vector<std::string>& schemes() const { return schemes_; }
   const std::vector<std::string>& workloads() const { return workloads_; }
 
+  /// Every cell in workload-major order (the order RunSweep fills them).
+  std::vector<CellResult> Cells() const;
+
   /// IPC of (scheme, workload) normalized to (baseline_scheme, workload).
   double Speedup(const std::string& scheme, const std::string& workload,
                  const std::string& baseline_scheme) const;
@@ -65,21 +86,65 @@ class SweepResult {
   double GeomeanSpeedup(const std::string& scheme,
                         const std::string& baseline_scheme) const;
 
+  /// Serializes the sweep as a JSON object: scheme/workload lists, per-cell
+  /// GpuRunStats (with per-cell speedup vs `baseline_scheme`), and a
+  /// geomean-speedup summary per scheme. An empty `baseline_scheme` means
+  /// the first scheme.
+  void WriteJson(JsonWriter& w, const std::string& baseline_scheme = "") const;
+
+  /// WriteJson to a stream as a standalone document.
+  void WriteJson(std::ostream& out,
+                 const std::string& baseline_scheme = "") const;
+
+  /// WriteJson to a file. Throws std::runtime_error when the file cannot be
+  /// written.
+  void WriteJsonFile(const std::string& path,
+                     const std::string& baseline_scheme = "") const;
+
  private:
   std::size_t SchemeIndex(const std::string& scheme) const;
   std::size_t WorkloadIndex(const std::string& workload) const;
 
   std::vector<std::string> schemes_;
   std::vector<std::string> workloads_;
+  // Name -> position lookups, built once in the constructor so Set/Get do
+  // not rescan the name lists (O(schemes x workloads) per sweep otherwise).
+  std::map<std::string, std::size_t> scheme_index_;
+  std::map<std::string, std::size_t> workload_index_;
   std::vector<GpuRunStats> cells_;  // [workload][scheme] flattened
 };
 
 /// Progress callback: (scheme label, workload name, cell index, total).
+/// The engine serializes invocations (one at a time, under a lock) and the
+/// cell index is monotonic, so callbacks may keep unsynchronized state.
 using ProgressFn =
     std::function<void(const std::string&, const std::string&, int, int)>;
 
-/// Runs every scheme on every workload. Deterministic: each cell uses the
-/// same seed (from the scheme's config), so two sweeps agree exactly.
+/// Execution knobs for RunSweep.
+struct SweepOptions {
+  RunLengths lengths;
+  /// Worker threads; 0 means one per hardware thread. threads=1 runs the
+  /// cells inline on the calling thread in definition order (the engine's
+  /// original sequential behavior).
+  int threads = 0;
+  ProgressFn progress;
+};
+
+/// The sweep grid in execution order (workload-major, matching the layout
+/// of SweepResult and the original sequential engine).
+std::vector<SweepCell> EnumerateCells(std::size_t num_schemes,
+                                      std::size_t num_workloads);
+
+/// Runs every scheme on every workload, `options.threads` cells at a time.
+/// Deterministic: each cell uses the same seed (from the scheme's config)
+/// and shares no state, so the result is bit-identical for any thread
+/// count. If a cell throws (e.g. a deadlock-unsafe configuration), the
+/// first exception is rethrown after in-flight cells finish.
+SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
+                     const std::vector<WorkloadProfile>& workloads,
+                     const SweepOptions& options);
+
+/// Back-compat convenience: sequential sweep (threads = 1).
 SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
                      const std::vector<WorkloadProfile>& workloads,
                      const RunLengths& lengths,

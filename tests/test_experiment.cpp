@@ -1,8 +1,11 @@
 // Tests for the sweep/speedup harness.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "common/json.hpp"
 #include "sim/experiment.hpp"
 
 namespace gnoc {
@@ -69,6 +72,124 @@ TEST(SweepTest, RunsAllCellsAndReportsProgress) {
   }
   // Self-speedup is exactly 1.
   EXPECT_DOUBLE_EQ(result.GeomeanSpeedup("XY", "XY"), 1.0);
+}
+
+TEST(SweepTest, EnumerateCellsIsWorkloadMajor) {
+  const auto cells = EnumerateCells(2, 3);
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0].workload, 0u);
+  EXPECT_EQ(cells[0].scheme, 0u);
+  EXPECT_EQ(cells[1].scheme, 1u);
+  EXPECT_EQ(cells[1].workload, 0u);
+  EXPECT_EQ(cells[2].workload, 1u);
+  EXPECT_EQ(cells.back().scheme, 1u);
+  EXPECT_EQ(cells.back().workload, 2u);
+}
+
+// The tentpole guarantee of the parallel engine: results are bit-identical
+// regardless of thread count, because each cell is independently seeded.
+TEST(SweepTest, ParallelSweepIsBitIdenticalToSequential) {
+  GpuConfig base = GpuConfig::Baseline();
+  GpuConfig mono = base;
+  mono.routing = RoutingAlgorithm::kYX;
+  mono.vc_policy = VcPolicyKind::kFullMonopolize;
+  const std::vector<SchemeSpec> schemes{{"XY", base}, {"YX mono", mono}};
+  const auto workloads = WorkloadSubset({"BFS", "KMN"});
+
+  SweepOptions seq;
+  seq.lengths = RunLengths{300, 1500};
+  seq.threads = 1;
+  SweepOptions par = seq;
+  par.threads = 4;
+
+  const SweepResult a = RunSweep(schemes, workloads, seq);
+  const SweepResult b = RunSweep(schemes, workloads, par);
+
+  for (const auto& s : {"XY", "YX mono"}) {
+    for (const auto& w : {"BFS", "KMN"}) {
+      const GpuRunStats& sa = a.Get(s, w);
+      const GpuRunStats& sb = b.Get(s, w);
+      EXPECT_EQ(sa.ipc, sb.ipc) << s << "/" << w;
+      EXPECT_EQ(sa.cycles, sb.cycles) << s << "/" << w;
+      EXPECT_EQ(sa.instructions, sb.instructions) << s << "/" << w;
+      EXPECT_EQ(sa.request_flits, sb.request_flits) << s << "/" << w;
+      EXPECT_EQ(sa.reply_flits, sb.reply_flits) << s << "/" << w;
+      EXPECT_EQ(sa.packets_by_type, sb.packets_by_type) << s << "/" << w;
+      EXPECT_EQ(sa.l2_miss_rate, sb.l2_miss_rate) << s << "/" << w;
+      EXPECT_EQ(sa.avg_read_latency, sb.avg_read_latency) << s << "/" << w;
+    }
+  }
+}
+
+TEST(SweepTest, ParallelProgressIsSerializedAndMonotonic) {
+  GpuConfig base = GpuConfig::Baseline();
+  const std::vector<SchemeSpec> schemes{{"XY", base}};
+  const auto workloads = WorkloadSubset({"NQU", "BFS", "CP", "STO"});
+
+  SweepOptions options;
+  options.lengths = RunLengths{100, 500};
+  options.threads = 4;
+  int calls = 0;
+  int last_done = -1;
+  // Unsynchronized state is safe: the engine serializes progress calls.
+  options.progress = [&](const std::string&, const std::string&, int done,
+                         int total) {
+    EXPECT_EQ(total, 4);
+    EXPECT_EQ(done, last_done + 1);  // monotonic, no gaps
+    last_done = done;
+    ++calls;
+  };
+  RunSweep(schemes, workloads, options);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(SweepTest, ParallelSweepPropagatesCellExceptions) {
+  GpuConfig base = GpuConfig::Baseline();
+  GpuConfig unsafe = base;
+  unsafe.routing = RoutingAlgorithm::kXYYX;
+  unsafe.vc_policy = VcPolicyKind::kFullMonopolize;  // deadlock-unsafe
+  const std::vector<SchemeSpec> schemes{{"XY", base}, {"unsafe", unsafe}};
+  const auto workloads = WorkloadSubset({"NQU"});
+
+  SweepOptions options;
+  options.lengths = RunLengths{100, 500};
+  options.threads = 4;
+  EXPECT_THROW(RunSweep(schemes, workloads, options), std::invalid_argument);
+}
+
+TEST(SweepResultTest, WriteJsonEmitsCellsAndSummaries) {
+  SweepResult result({"base", "fast"}, {"W1", "W2"});
+  GpuRunStats s;
+  s.ipc = 2.0;
+  s.cycles = 1000;
+  s.instructions = 2000;
+  result.Set("base", "W1", s);
+  result.Set("base", "W2", s);
+  s.ipc = 3.0;
+  result.Set("fast", "W1", s);
+  result.Set("fast", "W2", s);
+
+  std::ostringstream out;
+  result.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schemes\""), std::string::npos);
+  EXPECT_NE(json.find("\"baseline\": \"base\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"W2\""), std::string::npos);
+  EXPECT_NE(json.find("\"ipc\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"geomean_speedup\""), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\": 1.5"), std::string::npos);
+  // Braces and brackets balance (cheap structural sanity check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  const auto cells = result.Cells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].scheme, "base");
+  EXPECT_EQ(cells[0].workload, "W1");
+  EXPECT_EQ(cells[1].scheme, "fast");
+  EXPECT_EQ(cells[3].workload, "W2");
 }
 
 TEST(SweepTest, WorkloadSubsetThrowsOnUnknown) {

@@ -1,0 +1,94 @@
+// Tests for the fixed-size thread pool behind the parallel sweep engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace gnoc {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {
+  // Tasks writing to disjoint slots must produce the same output for any
+  // pool size (the property the sweep engine relies on).
+  std::vector<std::vector<int>> outputs;
+  for (unsigned threads : {1u, 2u, 4u, 7u}) {
+    std::vector<int> slots(64, -1);
+    ThreadPool pool(threads);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&slots, i] { slots[static_cast<std::size_t>(i)] = i * i; });
+    }
+    pool.WaitAll();
+    outputs.push_back(slots);
+  }
+  for (std::size_t i = 1; i < outputs.size(); ++i) {
+    EXPECT_EQ(outputs[i], outputs[0]);
+  }
+}
+
+TEST(ThreadPoolTest, WaitAllPropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&completed, i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      ++completed;
+    });
+  }
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  // The other tasks still ran to completion.
+  EXPECT_EQ(completed.load(), 9);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.WaitAll(), std::logic_error);
+
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 5; ++i) pool.Submit([&counter] { ++counter; });
+  EXPECT_NO_THROW(pool.WaitAll());
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPoolTest, WaitAllIsIdempotentAndReusable) {
+  ThreadPool pool(3);
+  pool.WaitAll();  // nothing submitted: returns immediately
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.WaitAll();
+  pool.WaitAll();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&counter] { ++counter; });
+    // No WaitAll: the destructor must still run everything before joining.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace gnoc
