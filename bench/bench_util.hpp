@@ -7,6 +7,8 @@
 //   threads=4         parallel sweep workers (0/default: one per core;
 //                     results are identical for any thread count)
 //   json=out.json     also write the figure's results as structured JSON
+//   audit=true        run every cell with the NoC invariant auditor on
+//                     (per-cell report lands in the JSON "audit" field)
 #pragma once
 
 #include <unistd.h>
@@ -38,6 +40,7 @@ struct BenchOptions {
   bool csv = false;
   int threads = 0;        ///< sweep workers; 0 = one per hardware thread
   std::string json_path;  ///< empty = no JSON output
+  bool audit = false;     ///< run cells with the invariant auditor enabled
   Config raw;
 };
 
@@ -89,6 +92,7 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   opts.csv = opts.raw.GetBool("csv", false);
   opts.threads = static_cast<int>(opts.raw.GetInt("threads", 0));
   opts.json_path = opts.raw.GetString("json", "");
+  opts.audit = opts.raw.GetBool("audit", false);
   opts.workloads = ParseWorkloadList(opts.raw.GetString("workloads", ""));
   return opts;
 }
@@ -117,6 +121,7 @@ inline SweepOptions SweepOpts(const BenchOptions& opts) {
   out.lengths = opts.lengths;
   out.threads = opts.threads;
   out.progress = StderrProgress();
+  out.audit = opts.audit;
   return out;
 }
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Smoke test for the parallel sweep engine + structured output: runs one
 # figure harness at reduced scale on 4 threads with JSON output and checks
-# that the emitted JSON parses.
+# that the emitted JSON parses, then re-runs it with the NoC invariant
+# auditor enabled and fails on any reported violation.
 #
 # Usage: bench/smoke.sh [build-dir] [extra harness args...]
 #   bench/smoke.sh                       # default build/ directory
@@ -45,4 +46,49 @@ else
   echo "smoke: JSON ok (structural check only; python3 not found)" >&2
 fi
 
-echo "smoke: ok ($OUT)" >&2
+# Second pass: same figure with the invariant auditor on. Any credit /
+# flit-conservation / wormhole / quiescence violation fails the smoke run.
+OUT_AUDIT=${GNOC_SMOKE_AUDIT_JSON:-/tmp/out_audit.json}
+echo "smoke: $HARNESS scale=0.1 threads=4 audit=true json=$OUT_AUDIT $*" >&2
+"$HARNESS" scale=0.1 threads=4 audit=true json="$OUT_AUDIT" "$@" > /dev/null
+
+if [[ ! -s "$OUT_AUDIT" ]]; then
+  echo "smoke: FAIL — $OUT_AUDIT missing or empty" >&2
+  exit 1
+fi
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$OUT_AUDIT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+bad = []
+cells = 0
+for name, sweep in doc["sweeps"].items():
+    for cell in sweep["cells"]:
+        cells += 1
+        audit = cell.get("audit")
+        assert audit is not None, "cell missing audit field"
+        if not audit["enabled"]:
+            bad.append("%s/%s/%s: auditor not enabled" %
+                       (name, cell["scheme"], cell["workload"]))
+        elif not audit["clean"]:
+            bad.append("%s/%s/%s: %d violation(s) %s, e.g. %s" %
+                       (name, cell["scheme"], cell["workload"],
+                        audit["violations"], audit["by_invariant"],
+                        audit["samples"][:1]))
+for line in bad:
+    print("smoke: AUDIT FAIL — " + line, file=sys.stderr)
+if bad:
+    sys.exit(1)
+print("smoke: audit ok — %d cells clean" % cells)
+EOF
+else
+  grep -q '"audit"' "$OUT_AUDIT" || {
+    echo "smoke: FAIL — no audit field" >&2; exit 1; }
+  grep -q '"clean": false' "$OUT_AUDIT" && {
+    echo "smoke: AUDIT FAIL — violations reported" >&2; exit 1; }
+  echo "smoke: audit ok (structural check only; python3 not found)" >&2
+fi
+
+echo "smoke: ok ($OUT, $OUT_AUDIT)" >&2

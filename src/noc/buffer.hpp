@@ -46,6 +46,12 @@ class VcBuffer {
   /// Drops all contents (used only by tests / reset).
   void Clear() { fifo_.clear(); }
 
+  /// Visits buffered flits oldest-first (invariant auditing).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Flit& f : fifo_) fn(f);
+  }
+
  private:
   std::size_t capacity_;
   std::deque<Flit> fifo_;

@@ -47,6 +47,41 @@ class DelayLine {
     return item;
   }
 
+  /// Visits every enqueued item oldest-first (invariant auditing).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [due, item] : items_) fn(item);
+  }
+
+  // Fault planting (audit mutation tests only — see noc/audit.hpp). These
+  // deliberately break the wire's FIFO/conservation contract so tests can
+  // prove the auditor notices.
+
+  /// Silently discards the oldest in-flight item. False when empty.
+  bool DiscardFront() {
+    if (items_.empty()) return false;
+    items_.pop_front();
+    return true;
+  }
+
+  /// Enqueues a copy of the newest in-flight item (same delivery time).
+  /// False when empty.
+  bool DuplicateBack() {
+    if (items_.empty()) return false;
+    items_.push_back(items_.back());
+    return true;
+  }
+
+  /// Applies `fn` to in-flight items oldest-first until it returns true
+  /// (item mutated); returns whether any item was mutated.
+  template <typename Fn>
+  bool MutateOne(Fn&& fn) {
+    for (auto& [due, item] : items_) {
+      if (fn(item)) return true;
+    }
+    return false;
+  }
+
  private:
   Cycle latency_;
   std::deque<std::pair<Cycle, T>> items_;

@@ -41,6 +41,10 @@ class Fabric {
   /// Injected packets per PacketType, summed over all NICs.
   virtual std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const = 0;
 
+  /// The merged invariant-audit report of the underlying networks
+  /// (default/disabled report when auditing is off — see noc/audit.hpp).
+  virtual AuditReport CollectAuditReport() const = 0;
+
   /// Number of physical networks (1 or 2).
   virtual int num_networks() const = 0;
   /// The physical network carrying `cls` traffic.
@@ -63,6 +67,9 @@ class SingleNetworkFabric final : public Fabric {
   NetworkSummary Summarize() const override;
   void ResetStats() override;
   std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override;
+  AuditReport CollectAuditReport() const override {
+    return network_.AuditResults();
+  }
   int num_networks() const override { return 1; }
   Network& net(TrafficClass) override { return network_; }
   const Network& net(TrafficClass) const override { return network_; }
@@ -91,6 +98,11 @@ class DualNetworkFabric final : public Fabric {
   NetworkSummary Summarize() const override;
   void ResetStats() override;
   std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override;
+  AuditReport CollectAuditReport() const override {
+    AuditReport merged = nets_[0]->AuditResults();
+    merged.Merge(nets_[1]->AuditResults());
+    return merged;
+  }
   int num_networks() const override { return 2; }
   Network& net(TrafficClass cls) override {
     return *nets_[static_cast<std::size_t>(ClassIndex(cls))];

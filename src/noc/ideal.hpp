@@ -43,6 +43,8 @@ class IdealFabric final : public Fabric {
   std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override {
     return packets_by_type_;
   }
+  /// Nothing to audit: no credits, buffers or wormholes exist here.
+  AuditReport CollectAuditReport() const override { return AuditReport{}; }
 
   /// The ideal fabric has no physical networks; these accessors are
   /// unsupported and throw std::logic_error.

@@ -27,6 +27,9 @@ Coord NeighbourOf(Coord c, Port p) {
 
 Network::Network(const NetworkConfig& config) : config_(config) {
   assert(config.width >= 2 && config.height >= 2);
+  if (config_.audit) {
+    auditor_ = std::make_unique<Auditor>(config_.audit_interval);
+  }
 
   RouterConfig rc;
   rc.num_vcs = config.num_vcs;
@@ -55,6 +58,10 @@ Network::Network(const NetworkConfig& config) : config_(config) {
     routers_.push_back(std::make_unique<Router>(id, c, rc));
     nics_.push_back(std::make_unique<Nic>(id, c, nc));
     routers_.back()->SetNic(nics_.back().get());
+    if (auditor_ != nullptr) {
+      routers_.back()->SetAuditor(auditor_.get());
+      auditor_->RegisterNic(nics_.back().get());
+    }
   }
 
   // Inter-router links: one flit channel and one credit channel per directed
@@ -83,6 +90,22 @@ Network::Network(const NetworkConfig& config) : config_(config) {
       credit_link->dst_router = &src;
       credit_link->dst_port = p;
       dst.SetCreditReturnChannel(OppositePort(p), &credit_link->channel);
+
+      if (auditor_ != nullptr) {
+        Auditor::Link al;
+        al.name = "r" + std::to_string(id) + "." + PortName(p);
+        al.num_vcs = config_.num_vcs;
+        al.vc_depth = config_.vc_depth;
+        al.flits = &flit_links_.back()->channel;
+        al.credits = &credit_link->channel;
+        al.src_router = &src;
+        al.src_port = p;
+        al.dst_router = &dst;
+        al.dst_port = OppositePort(p);
+        const int link_id = auditor_->RegisterLink(std::move(al));
+        src.SetAuditOutLink(p, link_id);
+        dst.SetAuditInLink(OppositePort(p), link_id);
+      }
       credit_links_.push_back(std::move(credit_link));
     }
 
@@ -102,6 +125,22 @@ Network::Network(const NetworkConfig& config) : config_(config) {
     inj_credit->dst_nic = &nic;
     router.SetCreditReturnChannel(Port::kLocal, &inj_credit->channel);
     nic.SetCreditChannel(&inj_credit->channel);
+
+    if (auditor_ != nullptr) {
+      Auditor::Link al;
+      al.name = "nic" + std::to_string(id) + ".inject";
+      al.num_vcs = config_.num_vcs;
+      al.vc_depth = config_.vc_depth;
+      al.injection = true;
+      al.flits = &flit_links_.back()->channel;
+      al.credits = &inj_credit->channel;
+      al.src_nic = &nic;
+      al.dst_router = &router;
+      al.dst_port = Port::kLocal;
+      const int link_id = auditor_->RegisterLink(std::move(al));
+      nic.SetAuditor(auditor_.get(), link_id);
+      router.SetAuditInLink(Port::kLocal, link_id);
+    }
     credit_links_.push_back(std::move(inj_credit));
   }
 }
@@ -176,6 +215,12 @@ void Network::Tick() {
   for (auto& r : routers_) r->Tick(now_);
   for (auto& nic : nics_) nic->Tick(now_);
 
+  // Between ticks every atomic operation has completed, so the conservation
+  // sums must hold exactly (flit/credit channels count as in-flight).
+  if (auditor_ != nullptr && auditor_->SnapshotDue(now_)) {
+    auditor_->RunSnapshot(now_);
+  }
+
   // Deadlock watchdog: flits in flight but no movement for a long time.
   const std::uint64_t progress = ProgressCounter();
   if (progress != last_progress_counter_ || FlitsInFlight() == 0) {
@@ -189,11 +234,55 @@ void Network::Tick() {
 
 bool Network::Drain(Cycle max_cycles) {
   for (Cycle i = 0; i < max_cycles; ++i) {
-    if (FlitsInFlight() == 0) return true;
+    if (FlitsInFlight() == 0) {
+      AuditQuiescence();
+      return true;
+    }
     if (deadlocked_) return false;
     Tick();
   }
-  return FlitsInFlight() == 0;
+  const bool drained = FlitsInFlight() == 0;
+  if (drained) AuditQuiescence();
+  return drained;
+}
+
+void Network::AuditQuiescence() {
+  if (auditor_ != nullptr) auditor_->CheckQuiescence(now_);
+}
+
+bool Network::InjectFault(AuditFault fault) {
+  switch (fault) {
+    case AuditFault::kDropCredit:
+      for (auto& link : credit_links_) {
+        if (link->channel.DiscardFront()) return true;
+      }
+      return false;
+    case AuditFault::kDropFlit:
+      for (auto& link : flit_links_) {
+        if (link->channel.DiscardFront()) return true;
+      }
+      return false;
+    case AuditFault::kDuplicateFlit:
+      for (auto& link : flit_links_) {
+        if (link->channel.DuplicateBack()) return true;
+      }
+      return false;
+    case AuditFault::kCorruptVc:
+      if (config_.num_vcs < 2) return false;
+      for (auto& link : flit_links_) {
+        // Target a body/tail flit: rerouting a mid-packet flit to another
+        // VC is the canonical wormhole-interleaving corruption, and its
+        // detection does not depend on what the victim VC carries.
+        const bool done = link->channel.MutateOne([&](Flit& f) {
+          if (IsHead(f)) return false;
+          f.vc = (f.vc + 1) % config_.num_vcs;
+          return true;
+        });
+        if (done) return true;
+      }
+      return false;
+  }
+  return false;
 }
 
 std::uint64_t Network::ProgressCounter() const {

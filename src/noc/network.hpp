@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "noc/audit.hpp"
 #include "noc/channel.hpp"
 #include "noc/nic.hpp"
 #include "noc/packet.hpp"
@@ -41,6 +42,12 @@ struct NetworkConfig {
   /// Cycles without any flit movement (while flits are buffered) after which
   /// the watchdog declares deadlock.
   Cycle deadlock_threshold = 2000;
+  /// Enables the runtime invariant auditor (see noc/audit.hpp). Off by
+  /// default: when off the network carries no auditing state at all.
+  bool audit = false;
+  /// Cycles between auditor snapshot sweeps (credit/flit conservation and
+  /// structural wormhole checks); per-flit checks always run when auditing.
+  Cycle audit_interval = 16;
 };
 
 /// Aggregated network-level counters (see also RouterStats / NicStats).
@@ -126,8 +133,31 @@ class Network {
   std::uint64_t LinkFlits(NodeId node, Port port, TrafficClass cls) const;
 
   /// Resets all statistics counters (not the network state). Used to exclude
-  /// warm-up from measurement.
+  /// warm-up from measurement. The audit report is cumulative and is *not*
+  /// reset: a protocol violation during warm-up is still a violation.
   void ResetStats();
+
+  // --- invariant auditing (config_.audit; see noc/audit.hpp) ---
+
+  /// True when this network was built with auditing enabled.
+  bool AuditEnabled() const { return auditor_ != nullptr; }
+
+  /// The cumulative audit report (default-constructed/disabled when
+  /// auditing is off).
+  AuditReport AuditResults() const {
+    return auditor_ != nullptr ? auditor_->report() : AuditReport{};
+  }
+
+  /// Runs the end-of-run quiescence checks now. Drain() already invokes
+  /// this on success; exposed for tests that drain manually. No-op when
+  /// auditing is off.
+  void AuditQuiescence();
+
+  /// Plants `fault` in the first live channel that can host it (audit
+  /// mutation tests). Returns false when no in-flight victim exists (e.g.
+  /// idle network, or kCorruptVc with num_vcs < 2 / only head flits in
+  /// flight).
+  bool InjectFault(AuditFault fault);
 
  private:
   struct FlitLink {
@@ -150,6 +180,7 @@ class Network {
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<std::unique_ptr<FlitLink>> flit_links_;
   std::vector<std::unique_ptr<CreditLink>> credit_links_;
+  std::unique_ptr<Auditor> auditor_;  ///< non-null iff config_.audit
 
   Cycle now_ = 0;
   PacketId next_packet_id_ = 1;

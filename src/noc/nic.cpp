@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "noc/audit.hpp"
+
 namespace gnoc {
 
 Nic::Nic(NodeId node, Coord coord, const NicConfig& config)
@@ -12,7 +14,8 @@ Nic::Nic(NodeId node, Coord coord, const NicConfig& config)
       policy_(config.vc_policy, config.num_vcs),
       sends_(static_cast<std::size_t>(config.num_vcs)),
       credits_(static_cast<std::size_t>(config.num_vcs), config.vc_depth) {
-  boundary_ = static_cast<VcId>(std::max(1, config.num_vcs / 2));
+  // Same seeding rule as Router (both ends of a link must agree).
+  boundary_ = InitialBoundary(config.num_vcs);
   next_boundary_update_ = config.dynamic_epoch;
   assert(config.num_vcs >= 1);
   assert(config.vc_depth >= 1);
@@ -154,20 +157,29 @@ void Nic::SendFlits(Cycle now) {
   if (inject_channel_ == nullptr) return;
   const auto num_vcs = sends_.size();
   int sent = 0;
-  bool waiting = false;
+  bool credit_blocked = false;
+  bool draining_only = false;
   for (int round = 0; round < inject_flits_per_cycle_; ++round) {
     bool sent_this_round = false;
     for (std::size_t k = 0; k < num_vcs; ++k) {
       const std::size_t v = (send_rr_ + k) % num_vcs;
       ActiveSend& send = sends_[v];
       if (!send.busy) continue;
-      waiting = true;
-      if (credits_[v] <= 0) continue;
-      if (send.draining) continue;  // tail sent; VC not yet recycled
+      if (send.draining) {
+        // Tail already sent: the VC only waits for atomic recycle, nothing
+        // here is blocked on credits.
+        draining_only = true;
+        continue;
+      }
+      if (credits_[v] <= 0) {
+        credit_blocked = true;
+        continue;
+      }
       Flit flit = send.remaining.front();
       send.remaining.pop_front();
       --credits_[v];
       inject_channel_->Push(flit, now);
+      if (auditor_ != nullptr) auditor_->OnFlitSent(audit_link_, flit, now);
       ++stats_.flits_injected[static_cast<std::size_t>(ClassIndex(flit.cls))];
       ++epoch_flits_[static_cast<std::size_t>(ClassIndex(flit.cls))];
       if (send.remaining.empty()) send.draining = true;
@@ -181,7 +193,11 @@ void Nic::SendFlits(Cycle now) {
   if (sent == 0) {
     const bool queued =
         !inject_queues_[0].empty() || !inject_queues_[1].empty();
-    if (waiting || queued) ++stats_.inject_stall_cycles;
+    if (credit_blocked || queued) {
+      ++stats_.inject_stall_cycles;
+    } else if (draining_only) {
+      ++stats_.inject_drain_cycles;
+    }
   }
 }
 

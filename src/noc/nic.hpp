@@ -26,6 +26,8 @@
 
 namespace gnoc {
 
+class Auditor;
+
 /// Endpoint interface for receiving packets from the network.
 class PacketSink {
  public:
@@ -69,8 +71,13 @@ struct NicStats {
   std::array<RunningStats, kNumClasses> packet_latency;
   /// Network latency (head injected -> delivered), per class.
   std::array<RunningStats, kNumClasses> network_latency;
-  /// Cycles the injection side had a packet waiting but sent no flit.
+  /// Cycles the injection side had a packet blocked on credits or a free VC
+  /// but sent no flit. Excludes cycles where the only busy VCs were
+  /// draining (tail already sent, waiting for atomic VC recycle) — those
+  /// are counted in `inject_drain_cycles` instead.
   std::uint64_t inject_stall_cycles = 0;
+  /// Cycles nothing was sent and every busy VC was merely draining.
+  std::uint64_t inject_drain_cycles = 0;
   /// Per-class end-to-end latency distribution (see kLatencyBucketWidth).
   std::array<Histogram, kNumClasses> latency_histogram;
 };
@@ -94,6 +101,13 @@ class Nic {
 
   /// Class usage of this NIC's injection link (link-aware monopolizing).
   void SetLinkMode(LinkMode mode) { link_mode_ = mode; }
+
+  /// Attaches the network's invariant auditor and this NIC's injection
+  /// link id (nullptr = auditing off).
+  void SetAuditor(Auditor* auditor, int link) {
+    auditor_ = auditor;
+    audit_link_ = link;
+  }
 
   /// Injection bandwidth in flits per cycle (default 1). Prior work
   /// (Bakhoda et al. [3], Kim et al. [11]) provisions extra injection
@@ -136,6 +150,9 @@ class Nic {
 
   /// Flits currently held on the ejection side (buffer + reassembly).
   int EjectOccupancy(TrafficClass cls) const;
+
+  /// Packets with absorbed flits awaiting their tail (invariant checks).
+  std::size_t PendingAssembly() const { return assembled_.size(); }
 
   /// Current injection-link VC boundary (dynamic policy only).
   VcId DynamicBoundary() const { return boundary_; }
@@ -181,6 +198,8 @@ class Nic {
   FlitChannel* inject_channel_ = nullptr;
   CreditChannel* credit_channel_ = nullptr;
   PacketSink* sink_ = nullptr;
+  Auditor* auditor_ = nullptr;
+  int audit_link_ = -1;
 
   std::array<std::deque<std::pair<Packet, Coord>>, kNumClasses> inject_queues_;
   std::vector<ActiveSend> sends_;   // per VC

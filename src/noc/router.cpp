@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "noc/audit.hpp"
 #include "noc/nic.hpp"
 
 namespace gnoc {
@@ -20,8 +21,12 @@ Router::Router(NodeId node, Coord coord, const RouterConfig& config)
     input_vcs_.emplace_back(config_.vc_depth);
   }
   output_vcs_.resize(total_vcs);
-  boundaries_.fill(static_cast<VcId>(config_.num_vcs / 2));
+  // Both ends of every link must seed the same dynamic boundary — the NIC
+  // uses the same helper for its injection link.
+  boundaries_.fill(InitialBoundary(config_.num_vcs));
   next_boundary_update_ = config_.dynamic_epoch;
+  audit_out_.fill(-1);
+  audit_in_.fill(-1);
   for (int p = 0; p < kNumPorts; ++p) {
     va_arb_.push_back(MakeArbiter(config_.arbiter, total_vcs));
     sa_input_arb_.push_back(
@@ -52,6 +57,10 @@ void Router::SetLinkMode(Port out_port, LinkMode mode) {
 }
 
 void Router::AcceptFlit(Port in_port, const Flit& flit, Cycle now) {
+  if (auditor_ != nullptr) {
+    const int link = audit_in_[static_cast<std::size_t>(PortIndex(in_port))];
+    if (link >= 0) auditor_->OnFlitReceived(link, flit, now);
+  }
   assert(flit.vc >= 0 && flit.vc < config_.num_vcs);
   InputVc& ivc = Ivc(in_port, flit.vc);
   assert(!ivc.buffer.full() && "credit protocol violated: buffer overflow");
@@ -274,6 +283,7 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
     if (out_port == Port::kLocal) {
       assert(nic_ != nullptr);
       nic_->AcceptEjectedFlit(flit, now);
+      if (auditor_ != nullptr) auditor_->OnFlitEjected(flit, now);
     } else {
       OutputVc& ovc = Ovc(out_port, ivc.out_vc);
       assert(ovc.credits > 0);
@@ -282,6 +292,10 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
       FlitChannel* channel = out_channels_[static_cast<std::size_t>(op)];
       assert(channel != nullptr);
       channel->Push(flit, now);
+      if (auditor_ != nullptr) {
+        const int link = audit_out_[static_cast<std::size_t>(op)];
+        if (link >= 0) auditor_->OnFlitSent(link, flit, now);
+      }
       if (IsTail(flit)) ovc.tail_sent = true;  // recycled once drained
     }
 
@@ -302,6 +316,11 @@ std::size_t Router::BufferedFlits() const {
 
 std::size_t Router::VcOccupancy(Port in_port, VcId vc) const {
   return Ivc(in_port, vc).buffer.size();
+}
+
+void Router::VisitVcFlits(Port in_port, VcId vc,
+                          const std::function<void(const Flit&)>& fn) const {
+  Ivc(in_port, vc).buffer.ForEach(fn);
 }
 
 int Router::OutputCredits(Port out_port, VcId vc) const {

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,7 @@
 
 namespace gnoc {
 
+class Auditor;
 class Nic;
 
 /// Static configuration shared by every router in a network.
@@ -89,6 +91,19 @@ class Router {
   /// kMixed, which is always safe.
   void SetLinkMode(Port out_port, LinkMode mode);
 
+  /// Attaches the network's invariant auditor (nullptr = auditing off).
+  void SetAuditor(Auditor* auditor) { auditor_ = auditor; }
+
+  /// Audit link id of the link leaving through `out_port`.
+  void SetAuditOutLink(Port out_port, int link) {
+    audit_out_[static_cast<std::size_t>(PortIndex(out_port))] = link;
+  }
+
+  /// Audit link id of the link feeding `in_port`.
+  void SetAuditInLink(Port in_port, int link) {
+    audit_in_[static_cast<std::size_t>(PortIndex(in_port))] = link;
+  }
+
   // --- per-cycle interface (called by Network) ---
 
   /// Delivers a flit arriving on `in_port`; it occupies the VC the upstream
@@ -112,8 +127,13 @@ class Router {
   /// Total flits currently buffered in all input VCs.
   std::size_t BufferedFlits() const;
 
-  /// Occupancy of one input VC (for tests).
+  /// Occupancy of one input VC (for tests and invariant checks).
   std::size_t VcOccupancy(Port in_port, VcId vc) const;
+
+  /// Visits the flits buffered in one input VC, oldest first (invariant
+  /// auditing).
+  void VisitVcFlits(Port in_port, VcId vc,
+                    const std::function<void(const Flit&)>& fn) const;
 
   /// Credits currently available on one output VC (for tests).
   int OutputCredits(Port out_port, VcId vc) const;
@@ -189,6 +209,10 @@ class Router {
   std::array<CreditChannel*, kNumPorts> credit_return_{};
   std::array<LinkMode, kNumPorts> link_modes_{};  // default kMixed
   Nic* nic_ = nullptr;
+
+  Auditor* auditor_ = nullptr;
+  std::array<int, kNumPorts> audit_out_{};  // audit link ids, -1 = none
+  std::array<int, kNumPorts> audit_in_{};
 
   // Dynamic-partitioning state: per-port boundary and per-epoch flit
   // counters by class.

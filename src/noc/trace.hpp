@@ -82,6 +82,9 @@ class RecordingFabric final : public Fabric {
   NetworkSummary Summarize() const override;
   void ResetStats() override;
   std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override;
+  AuditReport CollectAuditReport() const override {
+    return inner_->CollectAuditReport();
+  }
   int num_networks() const override;
   Network& net(TrafficClass cls) override;
   const Network& net(TrafficClass cls) const override;

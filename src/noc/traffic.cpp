@@ -35,6 +35,90 @@ TrafficPattern ParseTrafficPattern(const std::string& name) {
   throw std::invalid_argument("unknown traffic pattern: '" + name + "'");
 }
 
+namespace {
+
+bool IsPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+NodeId DeterministicDestination(TrafficPattern pattern, NodeId src, int width,
+                                int height) {
+  if (width < 1 || height < 1) {
+    throw std::invalid_argument("mesh dimensions must be positive");
+  }
+  const int n = width * height;
+  if (src < 0 || src >= n) {
+    throw std::invalid_argument("source node out of range");
+  }
+  if (n < 2) {
+    throw std::invalid_argument(
+        "deterministic patterns need at least two nodes");
+  }
+  const int x = src % width;
+  const int y = src / width;
+  NodeId dst;
+  switch (pattern) {
+    case TrafficPattern::kTranspose: {
+      // (x,y) -> (y,x) needs a square mesh; elsewhere fall back to the
+      // mirror permutation, which preserves the "far corner" character.
+      dst = width == height ? static_cast<NodeId>(x * width + y)
+                            : static_cast<NodeId>(n - 1 - src);
+      break;
+    }
+    case TrafficPattern::kBitReverse: {
+      if (IsPowerOfTwo(n)) {
+        int bits = 0;
+        while ((1 << bits) < n) ++bits;
+        int reversed = 0;
+        for (int b = 0; b < bits; ++b) {
+          if (src & (1 << b)) reversed |= 1 << (bits - 1 - b);
+        }
+        dst = static_cast<NodeId>(reversed);
+      } else {
+        // Folding `reversed % n` biases low ids and can hit src; use the
+        // mirror permutation instead (bijective, long average distance).
+        dst = static_cast<NodeId>(n - 1 - src);
+      }
+      break;
+    }
+    case TrafficPattern::kTornado: {
+      // Half-way around the ring minus one: adversarial for DOR meshes.
+      const int shift = (width + 1) / 2 - 1;
+      dst = static_cast<NodeId>(y * width +
+                                (x + (shift == 0 ? 1 : shift)) % width);
+      break;
+    }
+    case TrafficPattern::kNeighbor: {
+      dst = static_cast<NodeId>(y * width + (x + 1) % width);
+      break;
+    }
+    case TrafficPattern::kShuffle: {
+      if (IsPowerOfTwo(n)) {
+        int bits = 0;
+        while ((1 << bits) < n) ++bits;
+        dst = static_cast<NodeId>(((src << 1) | (src >> (bits - 1))) &
+                                  ((1 << bits) - 1));
+      } else {
+        // Rotate-left is only a permutation over power-of-two id spaces;
+        // fall back to the half-rotation (bijective for any n).
+        dst = static_cast<NodeId>((src + n / 2) % n);
+      }
+      break;
+    }
+    case TrafficPattern::kUniformRandom:
+    case TrafficPattern::kHotspot:
+      throw std::invalid_argument(
+          std::string("not a deterministic pattern: ") +
+          TrafficPatternName(pattern));
+    default:
+      throw std::invalid_argument("unknown traffic pattern");
+  }
+  // Fixed points (transpose diagonal, width-1 rings, ...) would self-send;
+  // route them to the next node so every generated packet crosses the NoC.
+  if (dst == src) dst = static_cast<NodeId>((dst + 1) % n);
+  return dst;
+}
+
 // ---------------------------------------------------------------------------
 // OpenLoopTraffic
 // ---------------------------------------------------------------------------
@@ -73,23 +157,13 @@ NodeId OpenLoopTraffic::PickDestination(NodeId src) {
       }
       return dst;
     }
-    case TrafficPattern::kTranspose: {
-      const Coord c = network_.CoordOf(src);
-      // Transpose requires a square mesh; clamp defensively otherwise.
-      const int w = network_.width();
-      const int h = network_.height();
-      Coord t{c.y < w ? c.y : w - 1, c.x < h ? c.x : h - 1};
-      return network_.NodeAt(t);
-    }
-    case TrafficPattern::kBitReverse: {
-      int bits = 0;
-      while ((1 << bits) < n) ++bits;
-      int reversed = 0;
-      for (int b = 0; b < bits; ++b) {
-        if (src & (1 << b)) reversed |= 1 << (bits - 1 - b);
-      }
-      return reversed % n;
-    }
+    case TrafficPattern::kTranspose:
+    case TrafficPattern::kBitReverse:
+    case TrafficPattern::kTornado:
+    case TrafficPattern::kNeighbor:
+    case TrafficPattern::kShuffle:
+      return DeterministicDestination(config_.pattern, src, network_.width(),
+                                      network_.height());
     case TrafficPattern::kHotspot: {
       if (rng.Bernoulli(config_.hotspot_fraction)) {
         const auto k = rng.NextBounded(config_.hotspots.size());
@@ -101,25 +175,6 @@ NodeId OpenLoopTraffic::PickDestination(NodeId src) {
         dst = static_cast<NodeId>(rng.NextBounded(static_cast<std::uint64_t>(n)));
       }
       return dst;
-    }
-    case TrafficPattern::kTornado: {
-      const Coord c = network_.CoordOf(src);
-      const int w = network_.width();
-      // Half-way around the ring minus one: adversarial for DOR meshes.
-      const int shift = (w + 1) / 2 - 1;
-      return network_.NodeAt({(c.x + (shift == 0 ? 1 : shift)) % w, c.y});
-    }
-    case TrafficPattern::kNeighbor: {
-      const Coord c = network_.CoordOf(src);
-      return network_.NodeAt({(c.x + 1) % network_.width(), c.y});
-    }
-    case TrafficPattern::kShuffle: {
-      int bits = 0;
-      while ((1 << bits) < n) ++bits;
-      if (bits == 0) return src == 0 ? 1 : 0;
-      const int rotated =
-          ((src << 1) | (src >> (bits - 1))) & ((1 << bits) - 1);
-      return rotated % n;
     }
   }
   return src == 0 ? 1 : 0;

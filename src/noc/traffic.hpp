@@ -39,6 +39,17 @@ TrafficPattern ParseTrafficPattern(const std::string& name);
 
 const char* TrafficPatternName(TrafficPattern p);
 
+/// Destination of `src` under a *deterministic* pattern on a width x height
+/// mesh (row-major node ids). Bit-reverse and shuffle use their classic
+/// bit-twiddling form when the node count is a power of two and fall back
+/// to an equivalent-distance permutation otherwise (mirror `n-1-src` for
+/// bit-reverse, half-rotation `(src + n/2) % n` for shuffle); transpose
+/// falls back to the mirror on non-square meshes. The result is always in
+/// range and never equals `src` (self-sends map to the next node). Throws
+/// std::invalid_argument for randomized patterns (uniform, hotspot).
+NodeId DeterministicDestination(TrafficPattern pattern, NodeId src, int width,
+                                int height);
+
 /// Configuration for the open-loop generator.
 struct OpenLoopConfig {
   TrafficPattern pattern = TrafficPattern::kUniformRandom;

@@ -90,6 +90,12 @@ VcId BoundaryForShare(double request_share, int num_vcs) {
   return std::clamp<VcId>(raw, 1, num_vcs - 1);
 }
 
+VcId InitialBoundary(int num_vcs) {
+  assert(num_vcs >= 1);
+  return std::clamp<VcId>(static_cast<VcId>(num_vcs / 2), 1,
+                          static_cast<VcId>(std::max(1, num_vcs - 1)));
+}
+
 bool VcPolicy::ClassesShareVcs(Port link_direction, LinkMode mode) const {
   const VcRange rq = AllowedVcs(TrafficClass::kRequest, link_direction, mode);
   const VcRange rp = AllowedVcs(TrafficClass::kReply, link_direction, mode);

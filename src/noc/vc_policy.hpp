@@ -112,4 +112,11 @@ VcRange PartitionAt(TrafficClass cls, VcId boundary, int num_vcs);
 /// clamped to [1, num_vcs - 1]. `request_share` in [0, 1].
 VcId BoundaryForShare(double request_share, int num_vcs);
 
+/// The boundary every dynamic-partitioning endpoint starts from: an even
+/// split, clamped into PartitionAt's legal range. Both ends of a link must
+/// seed from this one helper — the upstream VC allocator (router output
+/// port or NIC) and any downstream observer would otherwise disagree on
+/// which class owns a VC until the first epoch update.
+VcId InitialBoundary(int num_vcs);
+
 }  // namespace gnoc

@@ -132,6 +132,8 @@ void WriteStatsJson(JsonWriter& w, const GpuRunStats& stats) {
   w.Key("dram_row_hit_rate").Value(stats.dram_row_hit_rate);
   w.Key("avg_read_latency").Value(stats.avg_read_latency);
   w.Key("deadlocked").Value(stats.deadlocked);
+  w.Key("audit");
+  stats.audit.WriteJson(w);
 }
 
 }  // namespace
@@ -207,9 +209,11 @@ std::vector<SweepCell> EnumerateCells(std::size_t num_schemes,
 namespace {
 
 GpuRunStats RunCell(const SchemeSpec& scheme, const WorkloadProfile& workload,
-                    const RunLengths& lengths) {
-  GpuSystem gpu(scheme.config, workload);
-  return gpu.Run(lengths.warmup, lengths.measure);
+                    const SweepOptions& options) {
+  GpuConfig config = scheme.config;
+  if (options.audit) config.audit = true;
+  GpuSystem gpu(config, workload);
+  return gpu.Run(options.lengths.warmup, options.lengths.measure);
 }
 
 }  // namespace
@@ -244,7 +248,7 @@ SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
         options.progress(scheme.label, workload.name, done, total);
       }
       result.Set(scheme.label, workload.name,
-                 RunCell(scheme, workload, options.lengths));
+                 RunCell(scheme, workload, options));
       ++done;
     }
     return result;
@@ -264,7 +268,7 @@ SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
     pool.Submit([&, cell] {
       const SchemeSpec& scheme = schemes[cell.scheme];
       const WorkloadProfile& workload = workloads[cell.workload];
-      GpuRunStats stats = RunCell(scheme, workload, options.lengths);
+      GpuRunStats stats = RunCell(scheme, workload, options);
       std::lock_guard<std::mutex> lock(progress_mu);
       result.Set(scheme.label, workload.name, stats);
       if (options.progress) {

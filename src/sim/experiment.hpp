@@ -128,6 +128,10 @@ struct SweepOptions {
   /// original sequential behavior).
   int threads = 0;
   ProgressFn progress;
+  /// Run every cell with the NoC invariant auditor enabled (overrides each
+  /// scheme's GpuConfig::audit; see noc/audit.hpp). The per-cell report is
+  /// in GpuRunStats::audit and serialized by WriteJson.
+  bool audit = false;
 };
 
 /// The sweep grid in execution order (workload-major, matching the layout

@@ -36,6 +36,9 @@ void GpuConfig::ApplyOverrides(const Config& overrides) {
   atomic_vc_realloc =
       overrides.GetBool("atomic_vc_realloc", atomic_vc_realloc);
   record_trace = overrides.GetBool("record_trace", record_trace);
+  audit = overrides.GetBool("audit", audit);
+  audit_interval = static_cast<Cycle>(overrides.GetInt(
+      "audit_interval", static_cast<std::int64_t>(audit_interval)));
   ideal_noc = overrides.GetBool("ideal_noc", ideal_noc);
   mc_inject_flits_per_cycle = static_cast<int>(overrides.GetInt(
       "mc_inject_bw", mc_inject_flits_per_cycle));

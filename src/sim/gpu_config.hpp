@@ -53,6 +53,13 @@ struct GpuConfig {
   /// Record every injected packet (GpuSystem::trace(), noc/trace.hpp).
   bool record_trace = false;
 
+  /// Run the NoC invariant auditor (noc/audit.hpp): per-link credit
+  /// conservation, global flit conservation, wormhole integrity and
+  /// end-of-run quiescence. The report lands in GpuRunStats::audit.
+  bool audit = false;
+  /// Cycles between auditor snapshot sweeps (audit only).
+  Cycle audit_interval = 16;
+
   /// Replace the NoC with a contention-free ideal interconnect (upper
   /// bound; routing/VC settings are ignored).
   bool ideal_noc = false;

@@ -30,6 +30,8 @@ GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
   net.atomic_vc_realloc = config_.atomic_vc_realloc;
   net.dynamic_epoch = config_.dynamic_epoch;
   net.arbiter = config_.arbiter;
+  net.audit = config_.audit;
+  net.audit_interval = config_.audit_interval;
   if (config_.ideal_noc) {
     IdealFabricConfig ideal;
     ideal.width = config_.width;
@@ -137,6 +139,7 @@ GpuRunStats GpuSystem::Measure() const {
   for (const auto& sm : sms_) read_latency.Merge(sm->stats().read_latency);
   out.avg_read_latency = read_latency.mean();
   out.deadlocked = xport_->Deadlocked();
+  out.audit = xport_->CollectAuditReport();
   return out;
 }
 

@@ -39,6 +39,10 @@ struct GpuRunStats {
   double dram_row_hit_rate = 0.0;
   double avg_read_latency = 0.0;  ///< SM-observed round trip
   bool deadlocked = false;
+  /// Invariant-audit outcome (enabled == false unless GpuConfig::audit).
+  /// Cumulative over the whole run, including warm-up: a protocol
+  /// violation before ResetStats is still a violation.
+  AuditReport audit;
 };
 
 class GpuSystem {

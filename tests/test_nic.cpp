@@ -188,6 +188,37 @@ TEST(NicTest, StalledSinkBackpressuresEjection) {
   EXPECT_TRUE(h.nic.CanAcceptEjection(TrafficClass::kRequest));
 }
 
+TEST(NicTest, DrainingOnlyCyclesAreNotInjectionStalls) {
+  NicConfig cfg = DefaultConfig();
+  cfg.vc_policy = VcPolicyKind::kFullMonopolize;
+  cfg.num_vcs = 1;
+  NicHarness h(cfg);
+  ASSERT_TRUE(h.nic.Inject(h.MakePacket(PacketType::kReadRequest, 1),
+                           Coord{3, 0}, 0));
+  h.nic.Tick(0);  // sends the head-tail flit; VC enters draining
+  h.nic.Tick(1);  // nothing queued, nothing credit blocked: just draining
+  h.nic.Tick(2);
+  EXPECT_EQ(h.nic.stats().inject_drain_cycles, 2u);
+  EXPECT_EQ(h.nic.stats().inject_stall_cycles, 0u)
+      << "waiting for atomic VC recycle is not a stall";
+  // Credit comes home, VC recycles; a fully idle NIC counts neither.
+  h.credits.Push(Credit{0}, 2);
+  h.nic.Tick(3);
+  h.nic.Tick(4);
+  EXPECT_EQ(h.nic.stats().inject_drain_cycles, 2u);
+  EXPECT_EQ(h.nic.stats().inject_stall_cycles, 0u);
+}
+
+TEST(NicTest, CreditBlockedCyclesCountAsStalls) {
+  NicHarness h(DefaultConfig());
+  ASSERT_TRUE(h.nic.Inject(h.MakePacket(PacketType::kReadReply, 5),
+                           Coord{3, 0}, 0));
+  for (Cycle c = 0; c < 4; ++c) h.nic.Tick(c);  // fills the depth-4 VC
+  h.nic.Tick(4);  // 5th flit blocked: no credits
+  EXPECT_EQ(h.nic.stats().inject_stall_cycles, 1u);
+  EXPECT_EQ(h.nic.stats().inject_drain_cycles, 0u);
+}
+
 TEST(NicTest, IdleReflectsAllSides) {
   NicHarness h(DefaultConfig());
   EXPECT_TRUE(h.nic.Idle());

@@ -1,6 +1,10 @@
 // Tests for synthetic traffic generators (open loop and request/reply echo).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
 #include "noc/traffic.hpp"
 
 namespace gnoc {
@@ -193,6 +197,97 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return n;
     });
+
+// --- DeterministicDestination (regression: bit-reverse and shuffle used a
+// "% n" fold on non-power-of-two meshes, double-hitting low node ids and
+// sometimes returning dst == src) --------------------------------------
+
+TEST(DeterministicDestinationTest, AlwaysInRangeAndNeverSelf) {
+  const TrafficPattern patterns[] = {
+      TrafficPattern::kTranspose, TrafficPattern::kBitReverse,
+      TrafficPattern::kTornado, TrafficPattern::kNeighbor,
+      TrafficPattern::kShuffle};
+  const std::pair<int, int> meshes[] = {{4, 4}, {3, 4}, {5, 3}, {2, 2},
+                                        {8, 8}, {1, 6}, {6, 1}};
+  for (const auto& [w, h] : meshes) {
+    for (TrafficPattern p : patterns) {
+      for (NodeId src = 0; src < w * h; ++src) {
+        const NodeId dst = DeterministicDestination(p, src, w, h);
+        ASSERT_GE(dst, 0) << TrafficPatternName(p) << " " << w << "x" << h;
+        ASSERT_LT(dst, w * h) << TrafficPatternName(p) << " " << w << "x" << h;
+        ASSERT_NE(dst, src) << TrafficPatternName(p) << " " << w << "x" << h
+                            << " src=" << src;
+      }
+    }
+  }
+}
+
+TEST(DeterministicDestinationTest, BitReverseKeepsClassicFormOnPow2) {
+  // 4x4 = 16 nodes, 4 bits: 0001 <-> 1000, 0010 <-> 0100.
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kBitReverse, 1, 4, 4), 8);
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kBitReverse, 8, 4, 4), 1);
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kBitReverse, 2, 4, 4), 4);
+  // Palindromic ids (0110) are fixed points; they step to the next node.
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kBitReverse, 6, 4, 4), 7);
+}
+
+TEST(DeterministicDestinationTest, ShuffleKeepsClassicFormOnPow2) {
+  // Rotate left by one over 4 bits: 0001 -> 0010, 1000 -> 0001.
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kShuffle, 1, 4, 4), 2);
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kShuffle, 8, 4, 4), 1);
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kShuffle, 5, 4, 4), 10);
+}
+
+TEST(DeterministicDestinationTest, NonPow2FallbacksAreFair) {
+  // 3x4 = 12 nodes (not a power of two): the old "% 12" fold sent two
+  // sources to several low ids and none to the high ones. The fallbacks
+  // must hit every destination at most... exactly once per pattern where
+  // the permutation has no fixed point (even n: mirror and half-rotation).
+  for (TrafficPattern p :
+       {TrafficPattern::kBitReverse, TrafficPattern::kShuffle}) {
+    std::vector<int> hits(12, 0);
+    for (NodeId src = 0; src < 12; ++src) {
+      ++hits[static_cast<std::size_t>(
+          DeterministicDestination(p, src, 3, 4))];
+    }
+    for (int h : hits) EXPECT_EQ(h, 1) << TrafficPatternName(p);
+  }
+}
+
+TEST(DeterministicDestinationTest, TransposeSwapsCoordinatesOnSquare) {
+  // 4x4, row-major: (1,0) id 1 -> (0,1) id 4; diagonal steps off itself.
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kTranspose, 1, 4, 4), 4);
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kTranspose, 5, 4, 4), 6);
+}
+
+TEST(DeterministicDestinationTest, RandomizedPatternsThrow) {
+  EXPECT_THROW(DeterministicDestination(TrafficPattern::kUniformRandom, 0, 4,
+                                        4),
+               std::invalid_argument);
+  EXPECT_THROW(DeterministicDestination(TrafficPattern::kHotspot, 0, 4, 4),
+               std::invalid_argument);
+  EXPECT_THROW(DeterministicDestination(TrafficPattern::kNeighbor, 99, 4, 4),
+               std::invalid_argument);
+  EXPECT_THROW(DeterministicDestination(TrafficPattern::kNeighbor, 0, 0, 4),
+               std::invalid_argument);
+}
+
+TEST(OpenLoopTest, BitReverseOnNonPow2MeshDeliversEverywhere) {
+  Network net(Cfg(3, 4));
+  OpenLoopConfig tcfg;
+  tcfg.pattern = TrafficPattern::kBitReverse;
+  tcfg.injection_rate = 0.1;
+  tcfg.packet_size = 1;
+  OpenLoopTraffic traffic(net, tcfg);
+  for (int c = 0; c < 2000; ++c) {
+    traffic.Tick();
+    net.Tick();
+  }
+  ASSERT_TRUE(net.Drain(5000));
+  const auto s = net.Summarize();
+  EXPECT_EQ(s.packets_ejected[0] + s.packets_ejected[1] + traffic.dropped(),
+            traffic.generated());
+}
 
 TEST(TrafficPatternTest, NeighborAndTornadoTargets) {
   Network net(Cfg(4, 4));

@@ -122,6 +122,26 @@ TEST(VcPolicyTest, BoundaryForShareClampsAndRounds) {
   EXPECT_EQ(BoundaryForShare(2.0, 2), 1);
 }
 
+TEST(VcPolicyTest, InitialBoundaryIsTheSharedSeed) {
+  // Both ends of a link must seed the dynamic partition from this helper
+  // (regression: the NIC used max(1, n/2) while the router used n/2, so on
+  // num_vcs=1 links the router granted replies VC 0 and the NIC did not).
+  EXPECT_EQ(InitialBoundary(1), 1);
+  EXPECT_EQ(InitialBoundary(2), 1);
+  EXPECT_EQ(InitialBoundary(3), 1);
+  EXPECT_EQ(InitialBoundary(4), 2);
+  EXPECT_EQ(InitialBoundary(5), 2);
+  EXPECT_EQ(InitialBoundary(6), 3);
+  EXPECT_EQ(InitialBoundary(8), 4);
+  // Always a valid PartitionAt boundary: both classes get >= 1 VC when
+  // num_vcs >= 2.
+  for (int n = 2; n <= 8; ++n) {
+    const VcId b = InitialBoundary(n);
+    EXPECT_GE(b, 1) << n;
+    EXPECT_LE(b, n - 1) << n;
+  }
+}
+
 TEST(VcPolicyTest, DynamicStaticViewIsBalancedSplit) {
   VcPolicy policy(VcPolicyKind::kDynamic, 4);
   for (Port p : kAllPorts) {
