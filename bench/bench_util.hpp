@@ -9,6 +9,11 @@
 //   json=out.json     also write the figure's results as structured JSON
 //   audit=true        run every cell with the NoC invariant auditor on
 //                     (per-cell report lands in the JSON "audit" field)
+//   telemetry=true    run every cell with the telemetry sampler on (summary
+//                     in the JSON "telemetry" field; see telemetry_out=)
+//   telemetry_interval=100  cycles between telemetry samples
+//   telemetry_out=p   write <p>.csv and <p>.trace.json for runs a harness
+//                     designates (e.g. fig4's standalone KMN run)
 #pragma once
 
 #include <unistd.h>
@@ -41,6 +46,9 @@ struct BenchOptions {
   int threads = 0;        ///< sweep workers; 0 = one per hardware thread
   std::string json_path;  ///< empty = no JSON output
   bool audit = false;     ///< run cells with the invariant auditor enabled
+  bool telemetry = false;  ///< run cells with the telemetry sampler enabled
+  Cycle telemetry_interval = 0;  ///< 0 = each config's default
+  std::string telemetry_path;    ///< prefix for .csv/.trace.json exports
   Config raw;
 };
 
@@ -93,6 +101,12 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   opts.threads = static_cast<int>(opts.raw.GetInt("threads", 0));
   opts.json_path = opts.raw.GetString("json", "");
   opts.audit = opts.raw.GetBool("audit", false);
+  opts.telemetry = opts.raw.GetBool("telemetry", false);
+  opts.telemetry_interval =
+      static_cast<Cycle>(opts.raw.GetInt("telemetry_interval", 0));
+  opts.telemetry_path = opts.raw.GetString("telemetry_out", "");
+  // telemetry_out= implies telemetry collection.
+  if (!opts.telemetry_path.empty()) opts.telemetry = true;
   opts.workloads = ParseWorkloadList(opts.raw.GetString("workloads", ""));
   return opts;
 }
@@ -122,7 +136,35 @@ inline SweepOptions SweepOpts(const BenchOptions& opts) {
   out.threads = opts.threads;
   out.progress = StderrProgress();
   out.audit = opts.audit;
+  out.telemetry = opts.telemetry;
+  out.telemetry_interval = opts.telemetry_interval;
   return out;
+}
+
+/// Writes a telemetry report as `<prefix>.csv` (long-form windows) and
+/// `<prefix>.trace.json` (Chrome trace events). Throws std::runtime_error
+/// on I/O failure; no-op for a disabled report.
+inline void WriteTelemetryFiles(const TelemetryReport& report,
+                                const std::string& prefix) {
+  if (!report.enabled || prefix.empty()) return;
+  const auto write = [](const std::string& path, auto&& emit) {
+    std::ofstream out(path);
+    if (!out) {
+      throw std::runtime_error("cannot write telemetry file: '" + path + "'");
+    }
+    emit(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("error writing telemetry file: '" + path +
+                               "'");
+    }
+  };
+  write(prefix + ".csv",
+        [&](std::ostream& out) { report.WriteCsv(out); });
+  write(prefix + ".trace.json",
+        [&](std::ostream& out) { report.WriteChromeTrace(out); });
+  std::cerr << "telemetry: wrote " << prefix << ".csv and " << prefix
+            << ".trace.json\n";
 }
 
 /// Prints a table (or CSV) and flushes.

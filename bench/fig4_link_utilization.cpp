@@ -58,6 +58,12 @@ int main(int argc, char** argv) {
   std::cout << "\n--- validation against the cycle-accurate simulator "
                "(8x8, KMN workload) ---\n";
   GpuConfig cfg = GpuConfig::Baseline();
+  if (opts.telemetry) {
+    cfg.telemetry = true;
+    if (opts.telemetry_interval > 0) {
+      cfg.telemetry_interval = opts.telemetry_interval;
+    }
+  }
   GpuSystem gpu(cfg, FindWorkload("KMN"));
   gpu.Run(opts.lengths.warmup, opts.lengths.measure);
 
@@ -83,6 +89,11 @@ int main(int argc, char** argv) {
 
   BenchReport report("fig4_link_utilization", opts);
   report.Table("south_link_validation", table);
+
+  // telemetry_out=prefix: export the validation run's time-resolved link
+  // map (windowed CSV + Chrome trace; load the trace in Perfetto to watch
+  // the south-link gradient build up towards the MC rows).
+  WriteTelemetryFiles(gpu.fabric().CollectTelemetry(), opts.telemetry_path);
   std::cout << "\nPaper reports: request and reply traffic never mix on any\n"
                "link under XY/bottom (enabling VC monopolizing); under XY-YX\n"
                "they mix on horizontal links only (partial monopolizing).\n";

@@ -2,11 +2,16 @@
 # Smoke test for the parallel sweep engine + structured output: runs one
 # figure harness at reduced scale on 4 threads with JSON output and checks
 # that the emitted JSON parses, then re-runs it with the NoC invariant
-# auditor enabled and fails on any reported violation.
+# auditor enabled and fails on any reported violation, then exercises the
+# telemetry exporters (CSV + Chrome trace, strictly validated with
+# python3 -m json.tool) and — when a UBSan tree is available (see
+# GNOC_SANITIZE=undefined in CMakeLists.txt) — one UBSan-instrumented
+# config.
 #
 # Usage: bench/smoke.sh [build-dir] [extra harness args...]
 #   bench/smoke.sh                       # default build/ directory
 #   bench/smoke.sh build workloads=BFS,KMN   # quicker still
+#   GNOC_SMOKE_UBSAN_DIR=build-ubsan bench/smoke.sh   # explicit UBSan tree
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -91,4 +96,47 @@ else
   echo "smoke: audit ok (structural check only; python3 not found)" >&2
 fi
 
-echo "smoke: ok ($OUT, $OUT_AUDIT)" >&2
+# Third pass: telemetry exporters. fig4's standalone KMN run writes the
+# windowed CSV and the Chrome trace; both must be non-empty and the trace
+# must be strictly valid JSON (python3 -m json.tool), not just truthy.
+TELEM=${GNOC_SMOKE_TELEMETRY:-/tmp/smoke_telemetry}
+TELEM_HARNESS="$BUILD_DIR/bench/fig4_link_utilization"
+rm -f "$TELEM.csv" "$TELEM.trace.json"
+echo "smoke: $TELEM_HARNESS scale=0.1 telemetry_out=$TELEM" >&2
+"$TELEM_HARNESS" scale=0.1 telemetry_out="$TELEM" > /dev/null
+
+for f in "$TELEM.csv" "$TELEM.trace.json"; do
+  if [[ ! -s "$f" ]]; then
+    echo "smoke: FAIL — telemetry export $f missing or empty" >&2
+    exit 1
+  fi
+done
+head -n1 "$TELEM.csv" | grep -q '^window_start,window_cycles,metric' || {
+  echo "smoke: FAIL — $TELEM.csv has no telemetry header" >&2; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$TELEM.trace.json" > /dev/null || {
+    echo "smoke: FAIL — $TELEM.trace.json is malformed JSON" >&2; exit 1; }
+  grep -q '"traceEvents"' "$TELEM.trace.json" || {
+    echo "smoke: FAIL — trace JSON has no traceEvents" >&2; exit 1; }
+  echo "smoke: telemetry ok — $TELEM.csv + valid Chrome trace" >&2
+else
+  head -c1 "$TELEM.trace.json" | grep -q '{' || {
+    echo "smoke: FAIL — trace not JSON" >&2; exit 1; }
+  echo "smoke: telemetry ok (structural check only; python3 not found)" >&2
+fi
+
+# Fourth pass: one UBSan config, when an undefined-sanitizer tree exists
+# (any UB aborts the harness because the tree builds with
+# -fno-sanitize-recover=undefined).
+UBSAN_DIR=${GNOC_SMOKE_UBSAN_DIR:-build-ubsan}
+UBSAN_HARNESS="$UBSAN_DIR/bench/fig8_vc_monopolizing"
+if [[ -x "$UBSAN_HARNESS" ]]; then
+  echo "smoke: $UBSAN_HARNESS scale=0.1 threads=4 telemetry=true (UBSan)" >&2
+  "$UBSAN_HARNESS" scale=0.1 threads=4 telemetry=true > /dev/null
+  echo "smoke: UBSan config ok" >&2
+else
+  echo "smoke: note — no UBSan tree at $UBSAN_DIR, skipping UBSan pass" \
+       "(cmake -B build-ubsan -S . -DGNOC_SANITIZE=undefined)" >&2
+fi
+
+echo "smoke: ok ($OUT, $OUT_AUDIT, $TELEM.{csv,trace.json})" >&2

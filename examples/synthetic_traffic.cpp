@@ -3,11 +3,17 @@
 // network library without the GPGPU core models.
 //
 // Usage: synthetic_traffic [pattern=uniform|transpose|bitrev|hotspot]
-//                          [routing=xy] [cycles=5000]
+//                          [routing=xy] [cycles=5000] [warmup=0|N|auto]
+//
+// warmup=N runs N cycles before resetting statistics; warmup=auto lets the
+// SteadyStateDetector (noc/telemetry.hpp) watch windowed mean latency and
+// end warm-up once K consecutive windows agree — the proper
+// warmup/measure methodology, instead of measuring the cold start.
 #include <iostream>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "noc/telemetry.hpp"
 #include "noc/traffic.hpp"
 
 using namespace gnoc;
@@ -19,12 +25,20 @@ int main(int argc, char** argv) {
   const RoutingAlgorithm routing =
       ParseRouting(args.GetString("routing", "xy"));
   const auto cycles = static_cast<Cycle>(args.GetInt("cycles", 5000));
+  const std::string warmup_arg = args.GetString("warmup", "0");
+  const bool auto_warmup = warmup_arg == "auto";
+  const Cycle fixed_warmup =
+      auto_warmup ? 0 : static_cast<Cycle>(std::stoll(warmup_arg));
 
   std::cout << "Latency/throughput sweep: " << TrafficPatternName(pattern)
-            << " traffic, " << RoutingName(routing) << " routing, 8x8 mesh\n\n";
+            << " traffic, " << RoutingName(routing) << " routing, 8x8 mesh\n"
+            << "warm-up: "
+            << (auto_warmup ? std::string("auto (steady-state detector)")
+                            : warmup_arg + " cycles")
+            << ", measure: " << cycles << " cycles\n\n";
 
   TextTable table({"offered load (flits/node/cy)", "delivered", "avg latency",
-                   "max latency", "saturated"});
+                   "max latency", "warmup cy", "saturated"});
   for (double rate : {0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50}) {
     NetworkConfig cfg;
     cfg.routing = routing;
@@ -40,10 +54,26 @@ int main(int argc, char** argv) {
       tcfg.hotspot_fraction = 0.3;
     }
     OpenLoopTraffic traffic(net, tcfg);
+    const auto tick = [&](Cycle) { traffic.Tick(); };
 
-    for (Cycle c = 0; c < cycles; ++c) {
-      traffic.Tick();
-      net.Tick();
+    Cycle warmup_used = fixed_warmup;
+    Cycle measured = cycles;
+    if (auto_warmup) {
+      AutoWarmupOptions opt;
+      opt.measure = cycles;
+      const AutoWarmupResult r = RunWithAutoWarmup(net, tick, opt);
+      warmup_used = r.warmup_cycles;
+      measured = r.measured_cycles;
+    } else {
+      for (Cycle c = 0; c < fixed_warmup; ++c) {
+        tick(c);
+        net.Tick();
+      }
+      if (fixed_warmup > 0) net.ResetStats();
+      for (Cycle c = 0; c < cycles; ++c) {
+        tick(c);
+        net.Tick();
+      }
     }
     const NetworkSummary summary = net.Summarize();
     RunningStats merged;
@@ -53,14 +83,19 @@ int main(int argc, char** argv) {
     const double delivered =
         static_cast<double>(summary.flits_ejected[0] +
                             summary.flits_ejected[1]) /
-        static_cast<double>(cycles * 64);
+        static_cast<double>(measured * 64);
     // Saturation heuristic: delivered load falls visibly short of offered.
     const bool saturated = delivered < 0.85 * rate;
     table.AddRow({FormatDouble(rate, 2), FormatDouble(delivered, 3),
                   FormatDouble(merged.mean(), 1),
-                  FormatDouble(merged.max(), 0), saturated ? "yes" : "no"});
+                  FormatDouble(merged.max(), 0), std::to_string(warmup_used),
+                  saturated ? "yes" : "no"});
   }
   std::cout << table.Render();
+  if (auto_warmup) {
+    std::cout << "\nwarmup cy = cycles the steady-state detector excluded "
+                 "before measuring.\n";
+  }
 
   std::cout << "\nRequest/reply echo (many-to-few / few-to-many, bottom MCs)"
                ":\n\n";

@@ -3,7 +3,14 @@
 // trace-driven NoC evaluation workflow.
 //
 // Usage: trace_replay [workload=SRAD] [measure=6000] [trace_file=...]
+//                     [trace_out=replay]
+//
+// trace_out=<prefix> replays the baseline variant with telemetry on and
+// writes <prefix>.trace.json — a Chrome trace (chrome://tracing / Perfetto)
+// of per-link utilization and latency over the replayed run.
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
@@ -19,10 +26,12 @@ using namespace gnoc;
 /// returns cycles-to-completion and mean packet latency.
 std::pair<Cycle, double> ReplayOn(const std::vector<TraceRecord>& records,
                                   RoutingAlgorithm routing,
-                                  VcPolicyKind policy) {
+                                  VcPolicyKind policy,
+                                  const std::string& trace_out = "") {
   NetworkConfig cfg;
   cfg.routing = routing;
   cfg.vc_policy = policy;
+  cfg.telemetry = !trace_out.empty();
   Network net(cfg);
   net.ConfigureLinkModes(
       AnalyzeLinkUsage(TilePlan(8, 8, 8, McPlacement::kBottom), routing));
@@ -37,6 +46,14 @@ std::pair<Cycle, double> ReplayOn(const std::vector<TraceRecord>& records,
     replay.Tick();
     net.Tick();
     if (net.Deadlocked()) break;
+  }
+  if (!trace_out.empty()) {
+    const std::string path = trace_out + ".trace.json";
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write '" + path + "'");
+    net.TelemetryResults().WriteChromeTrace(out);
+    std::cout << "Chrome trace of the replay written to " << path
+              << " (open in chrome://tracing or Perfetto).\n";
   }
   const NetworkSummary s = net.Summarize();
   RunningStats latency;
@@ -67,7 +84,15 @@ int main(int argc, char** argv) {
     std::cout << "Trace written to " << trace_file << "\n";
   }
 
-  // 2. Replay against NoC variants.
+  // 2. Optional: one instrumented baseline replay, exported as a Chrome
+  // trace of the run's per-link utilization timeline.
+  const std::string trace_out = args.GetString("trace_out", "");
+  if (!trace_out.empty()) {
+    ReplayOn(trace.records(), RoutingAlgorithm::kXY, VcPolicyKind::kSplit,
+             trace_out);
+  }
+
+  // 3. Replay against NoC variants.
   std::cout << "\nTrace-driven comparison (same packets, different NoCs):\n\n";
   TextTable table({"NoC variant", "cycles to drain", "mean packet latency"});
   struct Variant {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace gnoc {
 
@@ -70,8 +71,14 @@ void Histogram::Reset() {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  assert(bucket_width_ == other.bucket_width_);
-  assert(counts_.size() == other.counts_.size());
+  if (bucket_width_ != other.bucket_width_ ||
+      counts_.size() != other.counts_.size()) {
+    std::ostringstream oss;
+    oss << "Histogram::Merge: mismatched geometry (" << num_buckets() << " x "
+        << bucket_width_ << " vs " << other.num_buckets() << " x "
+        << other.bucket_width_ << ")";
+    throw std::invalid_argument(oss.str());
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }

@@ -51,6 +51,8 @@ class Histogram {
   void Reset();
 
   /// Merges a histogram with identical geometry (bucket-wise addition).
+  /// Throws std::invalid_argument when the geometries differ — silently
+  /// widening would misattribute samples to the wrong latency range.
   void Merge(const Histogram& other);
 
   std::uint64_t count() const { return stats_.count(); }
@@ -67,7 +69,8 @@ class Histogram {
   std::uint64_t overflow() const { return counts_.back(); }
 
   /// Approximate p-th percentile (0 < p <= 100) assuming uniform density
-  /// inside each bucket. Returns 0 when empty.
+  /// inside each bucket. An empty histogram has no quantiles; it returns 0
+  /// for every p (tested behaviour, not an accident).
   double Percentile(double p) const;
 
  private:

@@ -45,6 +45,11 @@ class Fabric {
   /// (default/disabled report when auditing is off — see noc/audit.hpp).
   virtual AuditReport CollectAuditReport() const = 0;
 
+  /// The merged telemetry snapshot of the underlying networks
+  /// (default/disabled report when telemetry is off — see
+  /// noc/telemetry.hpp). Dual fabrics prefix entities "req:" / "rep:".
+  virtual TelemetryReport CollectTelemetry() const = 0;
+
   /// Number of physical networks (1 or 2).
   virtual int num_networks() const = 0;
   /// The physical network carrying `cls` traffic.
@@ -69,6 +74,9 @@ class SingleNetworkFabric final : public Fabric {
   std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override;
   AuditReport CollectAuditReport() const override {
     return network_.AuditResults();
+  }
+  TelemetryReport CollectTelemetry() const override {
+    return network_.TelemetryResults();
   }
   int num_networks() const override { return 1; }
   Network& net(TrafficClass) override { return network_; }
@@ -101,6 +109,14 @@ class DualNetworkFabric final : public Fabric {
   AuditReport CollectAuditReport() const override {
     AuditReport merged = nets_[0]->AuditResults();
     merged.Merge(nets_[1]->AuditResults());
+    return merged;
+  }
+  TelemetryReport CollectTelemetry() const override {
+    TelemetryReport merged;
+    merged.Merge(nets_[ClassIndex(TrafficClass::kRequest)]->TelemetryResults(),
+                 "req:");
+    merged.Merge(nets_[ClassIndex(TrafficClass::kReply)]->TelemetryResults(),
+                 "rep:");
     return merged;
   }
   int num_networks() const override { return 2; }

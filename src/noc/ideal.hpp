@@ -45,6 +45,10 @@ class IdealFabric final : public Fabric {
   }
   /// Nothing to audit: no credits, buffers or wormholes exist here.
   AuditReport CollectAuditReport() const override { return AuditReport{}; }
+  /// No links or VCs to sample either.
+  TelemetryReport CollectTelemetry() const override {
+    return TelemetryReport{};
+  }
 
   /// The ideal fabric has no physical networks; these accessors are
   /// unsupported and throw std::logic_error.

@@ -143,6 +143,19 @@ Network::Network(const NetworkConfig& config) : config_(config) {
     }
     credit_links_.push_back(std::move(inj_credit));
   }
+
+  // Telemetry registers last: it inspects the wired topology (which output
+  // ports have channels) to lay out its per-link tracks.
+  if (config_.telemetry) {
+    telemetry_ = std::make_unique<Telemetry>(
+        config_.telemetry_interval, config_.telemetry_max_windows,
+        kLatencyBucketWidth, kLatencyBuckets);
+    for (auto& r : routers_) telemetry_->RegisterRouter(r.get());
+    for (auto& nc : nics_) {
+      telemetry_->RegisterNic(nc.get());
+      nc->SetTelemetry(telemetry_.get());
+    }
+  }
 }
 
 NodeId Network::NodeAt(Coord c) const {
@@ -219,6 +232,10 @@ void Network::Tick() {
   // sums must hold exactly (flit/credit channels count as in-flight).
   if (auditor_ != nullptr && auditor_->SnapshotDue(now_)) {
     auditor_->RunSnapshot(now_);
+  }
+
+  if (telemetry_ != nullptr && telemetry_->SampleDue(now_)) {
+    telemetry_->Sample(now_);
   }
 
   // Deadlock watchdog: flits in flight but no movement for a long time.
@@ -332,6 +349,9 @@ std::uint64_t Network::LinkFlits(NodeId node, Port port,
 }
 
 void Network::ResetStats() {
+  // Telemetry closes its open window against the pre-reset counters and
+  // zeroes its baselines *before* the counters themselves are cleared.
+  if (telemetry_ != nullptr) telemetry_->OnStatsReset(now_);
   for (auto& r : routers_) r->ResetStats();
   for (auto& n : nics_) n->ResetStats();
   last_progress_counter_ = ProgressCounter();  // == 0 after resets

@@ -16,6 +16,7 @@
 #include "noc/nic.hpp"
 #include "noc/packet.hpp"
 #include "noc/router.hpp"
+#include "noc/telemetry.hpp"
 
 namespace gnoc {
 
@@ -48,6 +49,15 @@ struct NetworkConfig {
   /// Cycles between auditor snapshot sweeps (credit/flit conservation and
   /// structural wormhole checks); per-flit checks always run when auditing.
   Cycle audit_interval = 16;
+  /// Enables the telemetry sampler (see noc/telemetry.hpp). Off by default:
+  /// when off the network carries no telemetry state and every hook is a
+  /// null-pointer test.
+  bool telemetry = false;
+  /// Cycles between telemetry samples (= initial time-series window width).
+  Cycle telemetry_interval = 100;
+  /// Window cap per metric track; when reached, adjacent windows merge and
+  /// the width doubles (0 = unbounded).
+  std::size_t telemetry_max_windows = 512;
 };
 
 /// Aggregated network-level counters (see also RouterStats / NicStats).
@@ -153,6 +163,21 @@ class Network {
   /// auditing is off.
   void AuditQuiescence();
 
+  // --- telemetry (config_.telemetry; see noc/telemetry.hpp) ---
+
+  /// True when this network was built with telemetry enabled.
+  bool TelemetryEnabled() const { return telemetry_ != nullptr; }
+
+  /// Snapshot of the sampled time series up to the current cycle
+  /// (default-constructed/disabled report when telemetry is off).
+  TelemetryReport TelemetryResults() const {
+    return telemetry_ != nullptr ? telemetry_->Snapshot(now_)
+                                 : TelemetryReport{};
+  }
+
+  /// The sampler itself (nullptr when telemetry is off); for tests.
+  const Telemetry* telemetry() const { return telemetry_.get(); }
+
   /// Plants `fault` in the first live channel that can host it (audit
   /// mutation tests). Returns false when no in-flight victim exists (e.g.
   /// idle network, or kCorruptVc with num_vcs < 2 / only head flits in
@@ -181,6 +206,7 @@ class Network {
   std::vector<std::unique_ptr<FlitLink>> flit_links_;
   std::vector<std::unique_ptr<CreditLink>> credit_links_;
   std::unique_ptr<Auditor> auditor_;  ///< non-null iff config_.audit
+  std::unique_ptr<Telemetry> telemetry_;  ///< non-null iff config_.telemetry
 
   Cycle now_ = 0;
   PacketId next_packet_id_ = 1;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "noc/audit.hpp"
+#include "noc/telemetry.hpp"
 
 namespace gnoc {
 
@@ -249,6 +250,11 @@ void Nic::DrainEjection(Cycle now) {
           static_cast<double>(now - packet.injected));
       stats_.latency_histogram[static_cast<std::size_t>(ci)].Add(
           static_cast<double>(now - packet.created));
+      if (telemetry_ != nullptr) {
+        telemetry_->OnPacketDelivered(static_cast<TrafficClass>(ci),
+                                      static_cast<double>(now - packet.created),
+                                      now);
+      }
       ++deliveries;
     }
   }

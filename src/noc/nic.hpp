@@ -27,6 +27,7 @@
 namespace gnoc {
 
 class Auditor;
+class Telemetry;
 
 /// Endpoint interface for receiving packets from the network.
 class PacketSink {
@@ -108,6 +109,10 @@ class Nic {
     auditor_ = auditor;
     audit_link_ = link;
   }
+
+  /// Attaches the network's telemetry sampler (nullptr = telemetry off);
+  /// the NIC reports per-packet delivery latencies to it.
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Injection bandwidth in flits per cycle (default 1). Prior work
   /// (Bakhoda et al. [3], Kim et al. [11]) provisions extra injection
@@ -200,6 +205,7 @@ class Nic {
   PacketSink* sink_ = nullptr;
   Auditor* auditor_ = nullptr;
   int audit_link_ = -1;
+  Telemetry* telemetry_ = nullptr;
 
   std::array<std::deque<std::pair<Packet, Coord>>, kNumClasses> inject_queues_;
   std::vector<ActiveSend> sends_;   // per VC

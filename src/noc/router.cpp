@@ -25,6 +25,8 @@ Router::Router(NodeId node, Coord coord, const RouterConfig& config)
   // uses the same helper for its injection link.
   boundaries_.fill(InitialBoundary(config_.num_vcs));
   next_boundary_update_ = config_.dynamic_epoch;
+  stats_.credit_stall_by_vc.assign(static_cast<std::size_t>(config_.num_vcs),
+                                   0);
   audit_out_.fill(-1);
   audit_in_.fill(-1);
   for (int p = 0; p < kNumPorts; ++p) {
@@ -229,6 +231,11 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
         any = true;
       } else if (ivc.out_vc != kInvalidVc || ivc.eject) {
         ++stats_.sa_stalls;
+        if (!ivc.eject) {
+          // Blocked purely on downstream credits: charge the allocated
+          // downstream VC (telemetry's credit_stall metric).
+          ++stats_.credit_stall_by_vc[static_cast<std::size_t>(ivc.out_vc)];
+        }
       }
     }
     if (any) {
@@ -306,6 +313,12 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
     }
   }
   if (any_traversal) ++stats_.busy_cycles;
+}
+
+void Router::ResetStats() {
+  stats_ = RouterStats{};
+  stats_.credit_stall_by_vc.assign(static_cast<std::size_t>(config_.num_vcs),
+                                   0);
 }
 
 std::size_t Router::BufferedFlits() const {

@@ -61,6 +61,10 @@ struct RouterStats {
   std::uint64_t va_failures = 0;
   /// SA requests that lost arbitration or lacked credits.
   std::uint64_t sa_stalls = 0;
+  /// Cycles an input VC with an allocated output VC could not traverse for
+  /// lack of downstream credits, by *downstream* VC id (summed over output
+  /// ports). Sized num_vcs by the Router; subset of `sa_stalls`.
+  std::vector<std::uint64_t> credit_stall_by_vc;
   /// Sum over cycles of total buffered flits (divide by cycles for mean).
   std::uint64_t buffered_flit_cycles = 0;
 };
@@ -122,7 +126,14 @@ class Router {
   const RouterStats& stats() const { return stats_; }
 
   /// Zeroes the statistics counters (network state is untouched).
-  void ResetStats() { stats_ = RouterStats{}; }
+  void ResetStats();
+
+  /// True when `out_port` is wired to a downstream channel. False on mesh
+  /// boundaries and for kLocal, which ejects directly into the NIC.
+  bool HasOutputChannel(Port out_port) const {
+    return out_channels_[static_cast<std::size_t>(PortIndex(out_port))] !=
+           nullptr;
+  }
 
   /// Total flits currently buffered in all input VCs.
   std::size_t BufferedFlits() const;

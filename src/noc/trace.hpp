@@ -85,6 +85,9 @@ class RecordingFabric final : public Fabric {
   AuditReport CollectAuditReport() const override {
     return inner_->CollectAuditReport();
   }
+  TelemetryReport CollectTelemetry() const override {
+    return inner_->CollectTelemetry();
+  }
   int num_networks() const override;
   Network& net(TrafficClass cls) override;
   const Network& net(TrafficClass cls) const override;

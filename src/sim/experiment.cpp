@@ -134,6 +134,8 @@ void WriteStatsJson(JsonWriter& w, const GpuRunStats& stats) {
   w.Key("deadlocked").Value(stats.deadlocked);
   w.Key("audit");
   stats.audit.WriteJson(w);
+  w.Key("telemetry");
+  stats.telemetry.WriteJson(w);
 }
 
 }  // namespace
@@ -212,6 +214,12 @@ GpuRunStats RunCell(const SchemeSpec& scheme, const WorkloadProfile& workload,
                     const SweepOptions& options) {
   GpuConfig config = scheme.config;
   if (options.audit) config.audit = true;
+  if (options.telemetry) {
+    config.telemetry = true;
+    if (options.telemetry_interval > 0) {
+      config.telemetry_interval = options.telemetry_interval;
+    }
+  }
   GpuSystem gpu(config, workload);
   return gpu.Run(options.lengths.warmup, options.lengths.measure);
 }

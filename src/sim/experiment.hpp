@@ -132,6 +132,14 @@ struct SweepOptions {
   /// scheme's GpuConfig::audit; see noc/audit.hpp). The per-cell report is
   /// in GpuRunStats::audit and serialized by WriteJson.
   bool audit = false;
+  /// Run every cell with the NoC telemetry sampler enabled (overrides each
+  /// scheme's GpuConfig::telemetry; see noc/telemetry.hpp). The per-cell
+  /// report is in GpuRunStats::telemetry; WriteJson serializes a summary
+  /// (counts, not the full series — use the CSV/trace exporters for those).
+  bool telemetry = false;
+  /// Sampling interval applied when `telemetry` is set (0 = keep each
+  /// scheme's GpuConfig::telemetry_interval).
+  Cycle telemetry_interval = 0;
 };
 
 /// The sweep grid in execution order (workload-major, matching the layout

@@ -39,6 +39,12 @@ void GpuConfig::ApplyOverrides(const Config& overrides) {
   audit = overrides.GetBool("audit", audit);
   audit_interval = static_cast<Cycle>(overrides.GetInt(
       "audit_interval", static_cast<std::int64_t>(audit_interval)));
+  telemetry = overrides.GetBool("telemetry", telemetry);
+  telemetry_interval = static_cast<Cycle>(overrides.GetInt(
+      "telemetry_interval", static_cast<std::int64_t>(telemetry_interval)));
+  telemetry_max_windows = static_cast<std::size_t>(overrides.GetInt(
+      "telemetry_max_windows",
+      static_cast<std::int64_t>(telemetry_max_windows)));
   ideal_noc = overrides.GetBool("ideal_noc", ideal_noc);
   mc_inject_flits_per_cycle = static_cast<int>(overrides.GetInt(
       "mc_inject_bw", mc_inject_flits_per_cycle));

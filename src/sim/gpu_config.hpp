@@ -60,6 +60,15 @@ struct GpuConfig {
   /// Cycles between auditor snapshot sweeps (audit only).
   Cycle audit_interval = 16;
 
+  /// Run the NoC telemetry sampler (noc/telemetry.hpp): windowed per-link
+  /// utilization, VC occupancy/credit stalls, injection/ejection rates and
+  /// latency histograms. The report lands in GpuRunStats::telemetry.
+  bool telemetry = false;
+  /// Cycles between telemetry samples (telemetry only).
+  Cycle telemetry_interval = 100;
+  /// Per-track window cap; 2x-downsamples when exceeded (0 = unbounded).
+  std::size_t telemetry_max_windows = 512;
+
   /// Replace the NoC with a contention-free ideal interconnect (upper
   /// bound; routing/VC settings are ignored).
   bool ideal_noc = false;

@@ -32,6 +32,9 @@ GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
   net.arbiter = config_.arbiter;
   net.audit = config_.audit;
   net.audit_interval = config_.audit_interval;
+  net.telemetry = config_.telemetry;
+  net.telemetry_interval = config_.telemetry_interval;
+  net.telemetry_max_windows = config_.telemetry_max_windows;
   if (config_.ideal_noc) {
     IdealFabricConfig ideal;
     ideal.width = config_.width;
@@ -140,6 +143,7 @@ GpuRunStats GpuSystem::Measure() const {
   out.avg_read_latency = read_latency.mean();
   out.deadlocked = xport_->Deadlocked();
   out.audit = xport_->CollectAuditReport();
+  out.telemetry = xport_->CollectTelemetry();
   return out;
 }
 

@@ -43,6 +43,10 @@ struct GpuRunStats {
   /// Cumulative over the whole run, including warm-up: a protocol
   /// violation before ResetStats is still a violation.
   AuditReport audit;
+  /// Telemetry snapshot (enabled == false unless GpuConfig::telemetry).
+  /// Windows span the whole run timeline, warm-up included — telemetry is
+  /// precisely the tool for *seeing* the warm-up transient.
+  TelemetryReport telemetry;
 };
 
 class GpuSystem {

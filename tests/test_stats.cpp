@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/stats.hpp"
 
@@ -122,6 +123,20 @@ TEST(HistogramTest, MergeWithEmptyIsIdentity) {
   empty.Merge(a);
   EXPECT_EQ(empty.count(), 1u);
   EXPECT_EQ(empty.bucket(3), 1u);
+}
+
+TEST(HistogramTest, MergeMismatchedGeometryThrows) {
+  // Defined behavior for shape mismatches: throw, never silently widen —
+  // telemetry windows rely on every histogram in a series sharing geometry.
+  Histogram a(10.0, 4);
+  a.Add(5.0);
+  Histogram narrower(5.0, 4);
+  Histogram shorter(10.0, 2);
+  EXPECT_THROW(a.Merge(narrower), std::invalid_argument);
+  EXPECT_THROW(a.Merge(shorter), std::invalid_argument);
+  // The failed merges left `a` untouched.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.bucket(0), 1u);
 }
 
 TEST(GeometricMeanTest, KnownValues) {
