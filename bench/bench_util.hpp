@@ -14,6 +14,10 @@
 //   telemetry_interval=100  cycles between telemetry samples
 //   telemetry_out=p   write <p>.csv and <p>.trace.json for runs a harness
 //                     designates (e.g. fig4's standalone KMN run)
+//   scheduling=active-set   NoC component scheduling for every cell:
+//                     full (tick everything, default) or active-set (skip
+//                     idle components bit-identically; same results, less
+//                     wall clock at low load)
 #pragma once
 
 #include <unistd.h>
@@ -24,6 +28,7 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -49,6 +54,8 @@ struct BenchOptions {
   bool telemetry = false;  ///< run cells with the telemetry sampler enabled
   Cycle telemetry_interval = 0;  ///< 0 = each config's default
   std::string telemetry_path;    ///< prefix for .csv/.trace.json exports
+  /// NoC scheduling override for every cell (unset = scheme default).
+  std::optional<SchedulingMode> scheduling;
   Config raw;
 };
 
@@ -107,6 +114,9 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   opts.telemetry_path = opts.raw.GetString("telemetry_out", "");
   // telemetry_out= implies telemetry collection.
   if (!opts.telemetry_path.empty()) opts.telemetry = true;
+  if (opts.raw.Contains("scheduling")) {
+    opts.scheduling = ParseSchedulingMode(opts.raw.GetString("scheduling"));
+  }
   opts.workloads = ParseWorkloadList(opts.raw.GetString("workloads", ""));
   return opts;
 }
@@ -138,6 +148,7 @@ inline SweepOptions SweepOpts(const BenchOptions& opts) {
   out.audit = opts.audit;
   out.telemetry = opts.telemetry;
   out.telemetry_interval = opts.telemetry_interval;
+  out.scheduling = opts.scheduling;
   return out;
 }
 

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Perf-regression and bit-identity gate for the NoC scheduler.
+
+Runs the fig8 sweep (fixed seed, reduced scale) twice — once with full-tick
+scheduling and once with active-set scheduling — and enforces three gates:
+
+  1. Bit identity: the two runs' sweep JSON documents must be *exactly*
+     equal, floats included. They come from the same binary in the same
+     process environment, so any difference is a scheduler bug.
+  2. Result stability: the full-mode document must match the committed
+     baseline (bench/baseline.json). Integers and strings compare exactly;
+     floats compare to a relative tolerance of 1e-6, absorbing FP-contraction
+     differences between compilers while still catching real changes.
+  3. Wall clock: the active/full wall-clock ratio must not regress by more
+     than --max-regress (default 25%) vs the baseline's recorded ratio.
+     Using the *ratio* normalizes away the CI runner's absolute speed; the
+     full-mode run is the on-machine control.
+
+Regenerate the baseline after an intentional behavior change with:
+
+    python3 bench/check_regression.py --build-dir build --update
+
+Exit status: 0 = all gates pass, 1 = a gate failed, 2 = usage/setup error.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import time
+
+DEFAULT_PROTOCOL = {
+    "harness": "bench/fig8_vc_monopolizing",
+    "args": ["scale=0.1", "threads=1", "workloads=CP,NQU,HOT,BFS,KMN"],
+    "repeats": 3,
+}
+FLOAT_REL_TOL = 1e-6
+
+
+def run_mode(build_dir, protocol, mode, json_path):
+    """Runs the harness in `mode` `repeats` times; returns (doc, best wall).
+
+    The minimum wall time over the repeats is the least-noise estimator on a
+    shared CI runner (noise only ever adds time).
+    """
+    harness = os.path.join(build_dir, protocol["harness"])
+    if not os.access(harness, os.X_OK):
+        sys.exit(f"check_regression: harness not found/executable: {harness}")
+    cmd = [harness] + protocol["args"] + [
+        f"json={json_path}", f"scheduling={mode}"]
+    best = math.inf
+    for _ in range(protocol["repeats"]):
+        start = time.monotonic()
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        best = min(best, time.monotonic() - start)
+    with open(json_path) as f:
+        return json.load(f), best
+
+
+def diff_json(a, b, exact_floats, path="$"):
+    """Returns a list of human-readable difference strings (empty = equal)."""
+    if type(a) is not type(b) and not (
+            isinstance(a, (int, float)) and isinstance(b, (int, float))):
+        return [f"{path}: type {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, dict):
+        diffs = []
+        for k in sorted(set(a) | set(b)):
+            if k not in a or k not in b:
+                diffs.append(f"{path}.{k}: only in "
+                             f"{'baseline' if k in a else 'current'}")
+            else:
+                diffs += diff_json(a[k], b[k], exact_floats, f"{path}.{k}")
+        return diffs
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return [f"{path}: length {len(a)} != {len(b)}"]
+        diffs = []
+        for i, (x, y) in enumerate(zip(a, b)):
+            diffs += diff_json(x, y, exact_floats, f"{path}[{i}]")
+        return diffs
+    if isinstance(a, float) or isinstance(b, float):
+        if not exact_floats and math.isclose(a, b, rel_tol=FLOAT_REL_TOL,
+                                             abs_tol=1e-12):
+            return []
+        if exact_floats and a == b:
+            return []
+        return [f"{path}: {a!r} != {b!r}"]
+    if a != b:
+        return [f"{path}: {a!r} != {b!r}"]
+    return []
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.environ.get("BUILD_DIR", "build"))
+    ap.add_argument("--baseline",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "baseline.json"))
+    ap.add_argument("--out-dir", default="/tmp",
+                    help="where the per-mode sweep JSON artifacts land")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="allowed wall-clock ratio regression (0.25 = 25%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this machine's runs")
+    args = ap.parse_args()
+
+    if args.update:
+        protocol = dict(DEFAULT_PROTOCOL)
+    else:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except OSError as e:
+            sys.exit(f"check_regression: cannot read baseline: {e}")
+        protocol = baseline["protocol"]
+
+    full_json = os.path.join(args.out_dir, "sweep_full.json")
+    active_json = os.path.join(args.out_dir, "sweep_active.json")
+    full_doc, full_wall = run_mode(args.build_dir, protocol, "full", full_json)
+    active_doc, active_wall = run_mode(args.build_dir, protocol, "active-set",
+                                       active_json)
+    ratio = active_wall / full_wall
+    print(f"check_regression: wall full={full_wall:.3f}s "
+          f"active-set={active_wall:.3f}s ratio={ratio:.3f}")
+
+    # Gate 1: bit identity between the two scheduling modes (same binary,
+    # exact float comparison — any diff is a scheduler bug).
+    diffs = diff_json(full_doc, active_doc, exact_floats=True)
+    if diffs:
+        print("check_regression: FAIL — active-set diverged from full mode:",
+              file=sys.stderr)
+        for d in diffs[:20]:
+            print("  " + d, file=sys.stderr)
+        return 1
+    print("check_regression: bit-identity ok "
+          "(active-set == full, exact)")
+
+    if args.update:
+        doc = {
+            "protocol": protocol,
+            "wall_seconds": {"full": round(full_wall, 4),
+                             "active-set": round(active_wall, 4)},
+            "wall_ratio": round(ratio, 4),
+            "results": full_doc,
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"check_regression: baseline updated: {args.baseline}")
+        return 0
+
+    # Gate 2: simulated results must match the committed baseline.
+    diffs = diff_json(baseline["results"], full_doc, exact_floats=False)
+    if diffs:
+        print("check_regression: FAIL — stats changed vs committed baseline "
+              "(if intentional, rerun with --update):", file=sys.stderr)
+        for d in diffs[:20]:
+            print("  " + d, file=sys.stderr)
+        return 1
+    print("check_regression: stats ok (match committed baseline)")
+
+    # Gate 3: runner-normalized wall-clock. The committed ratio already
+    # proves the active-set speedup on the baseline machine; here we only
+    # require the *relative* advantage not to rot.
+    allowed = baseline["wall_ratio"] * (1.0 + args.max_regress)
+    if ratio > allowed:
+        print(f"check_regression: FAIL — wall-clock ratio {ratio:.3f} exceeds "
+              f"baseline {baseline['wall_ratio']:.3f} "
+              f"+{args.max_regress:.0%} allowance ({allowed:.3f})",
+              file=sys.stderr)
+        return 1
+    print(f"check_regression: perf ok (ratio {ratio:.3f} <= {allowed:.3f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,49 @@ void BM_NetworkCycleIdle(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkCycleIdle);
 
+/// The same idle 8x8 network under active-set scheduling: every cycle
+/// sweeps four empty dirty lists instead of ticking 64 routers + 64 NICs.
+/// The ratio vs BM_NetworkCycleIdle is the headline low-load win.
+void BM_NetworkCycleIdleActiveSet(benchmark::State& state) {
+  NetworkConfig cfg;
+  cfg.scheduling = SchedulingMode::kActiveSet;
+  Network net(cfg);
+  for (auto _ : state) {
+    net.Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkCycleIdleActiveSet);
+
+/// One network cycle under sparse load: a single long-lived packet stream
+/// crossing the mesh corner-to-corner keeps a handful of components busy
+/// while the other ~60 routers idle — the common low-intensity regime of
+/// the paper's latency-throughput sweeps.
+template <SchedulingMode kMode>
+void BM_NetworkCycleSparse(benchmark::State& state) {
+  NetworkConfig cfg;
+  cfg.scheduling = kMode;
+  Network net(cfg);
+  Cycle next_inject = 0;
+  for (auto _ : state) {
+    if (net.now() >= next_inject) {
+      Packet p;
+      p.src = 0;
+      p.dst = net.num_nodes() - 1;
+      p.type = PacketType::kReadRequest;
+      p.num_flits = 2;
+      net.Inject(p);
+      next_inject = net.now() + 8;
+    }
+    net.Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkCycleSparse<SchedulingMode::kFull>)
+    ->Name("BM_NetworkCycleSparseFull");
+BENCHMARK(BM_NetworkCycleSparse<SchedulingMode::kActiveSet>)
+    ->Name("BM_NetworkCycleSparseActiveSet");
+
 /// One loaded GPGPU cycle (56 SMs + 8 MCs + 64 routers, KMN workload).
 void BM_GpuCycleLoaded(benchmark::State& state) {
   GpuConfig cfg = GpuConfig::Baseline();

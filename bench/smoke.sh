@@ -11,10 +11,12 @@
 # Usage: bench/smoke.sh [build-dir] [extra harness args...]
 #   bench/smoke.sh                       # default build/ directory
 #   bench/smoke.sh build workloads=BFS,KMN   # quicker still
+#   BUILD_DIR=build-ci bench/smoke.sh    # build dir via env (CI)
 #   GNOC_SMOKE_UBSAN_DIR=build-ubsan bench/smoke.sh   # explicit UBSan tree
 set -euo pipefail
 
-BUILD_DIR=${1:-build}
+# Positional arg wins, then $BUILD_DIR from the environment, then build/.
+BUILD_DIR=${1:-${BUILD_DIR:-build}}
 shift || true
 OUT=${GNOC_SMOKE_JSON:-/tmp/out.json}
 HARNESS="$BUILD_DIR/bench/fig8_vc_monopolizing"
@@ -125,7 +127,22 @@ else
   echo "smoke: telemetry ok (structural check only; python3 not found)" >&2
 fi
 
-# Fourth pass: one UBSan config, when an undefined-sanitizer tree exists
+# Fourth pass: active-set scheduling must be bit-identical to full-tick
+# mode. Any diff between the two CSVs is a scheduler bug.
+SCHED_FULL=${GNOC_SMOKE_SCHED_FULL:-/tmp/smoke_sched_full.csv}
+SCHED_ACTIVE=${GNOC_SMOKE_SCHED_ACTIVE:-/tmp/smoke_sched_active.csv}
+echo "smoke: $HARNESS scale=0.1 csv=true scheduling={full,active-set}" >&2
+"$HARNESS" scale=0.1 threads=4 csv=true scheduling=full "$@" > "$SCHED_FULL"
+"$HARNESS" scale=0.1 threads=4 csv=true scheduling=active-set "$@" \
+    > "$SCHED_ACTIVE"
+if ! diff -q "$SCHED_FULL" "$SCHED_ACTIVE" > /dev/null; then
+  echo "smoke: FAIL — active-set scheduling diverged from full mode:" >&2
+  diff "$SCHED_FULL" "$SCHED_ACTIVE" | head -20 >&2
+  exit 1
+fi
+echo "smoke: scheduling ok — active-set output bit-identical to full" >&2
+
+# Fifth pass: one UBSan config, when an undefined-sanitizer tree exists
 # (any UB aborts the harness because the tree builds with
 # -fno-sanitize-recover=undefined).
 UBSAN_DIR=${GNOC_SMOKE_UBSAN_DIR:-build-ubsan}

@@ -1,0 +1,100 @@
+// Deterministic dirty-set used by the active-set network scheduler
+// (NetworkConfig::scheduling == SchedulingMode::kActiveSet; DESIGN.md §9).
+//
+// A fixed-size bitmap over component indices with one non-negotiable
+// property: Sweep() visits members in strictly ascending index order, and a
+// member added *during* a sweep is visited in the same sweep iff its index
+// is above the sweep's current position. That mirrors the full scheduler
+// exactly, where components tick in index order every cycle: an event raised
+// by component j for component i is acted on this cycle when i > j (i ticks
+// later this cycle) and next cycle when i <= j (i already ticked).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace gnoc {
+
+class ActiveSet {
+ public:
+  ActiveSet() = default;
+  explicit ActiveSet(std::size_t size) { Resize(size); }
+
+  /// Sets the domain to [0, size); drops all members.
+  void Resize(std::size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Adds `i` (idempotent). Safe to call from inside a Sweep visitor.
+  void Add(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  bool Contains(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  bool Empty() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Drops every member (test hook for scheduler-coverage auditing).
+  void Clear() { words_.assign(words_.size(), 0); }
+
+  /// WakeHook-compatible trampoline: `ctx` is the ActiveSet.
+  static void AddTo(void* ctx, std::size_t i) {
+    static_cast<ActiveSet*>(ctx)->Add(i);
+  }
+
+  /// Visits members in ascending order. Each visited index is removed first,
+  /// then `visit(i)` runs; a true return re-adds i. Indices added during the
+  /// sweep are visited this sweep when above the current position and kept
+  /// for the next sweep otherwise (including i re-adding itself).
+  template <typename Visitor>
+  void Sweep(Visitor&& visit) {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      // `eligible` masks off positions at or below the last visited bit so
+      // one index is never visited twice in a sweep.
+      std::uint64_t eligible = ~std::uint64_t{0};
+      while (true) {
+        const std::uint64_t ready = words_[w] & eligible;
+        if (ready == 0) break;
+        const int b = std::countr_zero(ready);
+        const std::uint64_t bit = std::uint64_t{1} << b;
+        eligible = b == 63 ? 0 : ~std::uint64_t{0} << (b + 1);
+        words_[w] &= ~bit;
+        if (visit(w * 64 + static_cast<std::size_t>(b))) words_[w] |= bit;
+      }
+    }
+  }
+
+  /// Visits current members in ascending order without modifying the set.
+  /// Unlike Sweep, additions from inside `fn` may or may not be visited.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        fn(w * 64 + static_cast<std::size_t>(b));
+      }
+    }
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gnoc

@@ -15,6 +15,7 @@ const char* AuditInvariantName(AuditInvariant inv) {
     case AuditInvariant::kFlitConservation: return "flit-conservation";
     case AuditInvariant::kWormhole: return "wormhole";
     case AuditInvariant::kQuiescence: return "quiescence";
+    case AuditInvariant::kSchedulerCoverage: return "scheduler-coverage";
   }
   return "?";
 }

@@ -35,6 +35,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -53,9 +54,15 @@ enum class AuditInvariant : std::uint8_t {
   kFlitConservation = 1,
   kWormhole = 2,
   kQuiescence = 3,
+  /// Active-set scheduling only: every component with pending work must be
+  /// on the scheduler's dirty list. A sleeping router with buffered flits
+  /// (or a non-empty channel off the list) is a lost wakeup — a scheduler
+  /// bug that would silently freeze traffic rather than hang the process,
+  /// so the auditor flags it. Checked by the Network at snapshot cadence.
+  kSchedulerCoverage = 4,
 };
 
-inline constexpr int kNumAuditInvariants = 4;
+inline constexpr int kNumAuditInvariants = 5;
 
 /// Stable lowercase identifier, e.g. "credit-conservation" (used as JSON
 /// key).
@@ -156,6 +163,12 @@ class Auditor {
 
   /// End-of-run invariants; call only once the network reports drained.
   void CheckQuiescence(Cycle now);
+
+  /// Records a violation found by an external checker (the Network's
+  /// scheduler-coverage sweep). Same counting/sampling as internal checks.
+  void ReportViolation(AuditInvariant inv, Cycle now, std::string detail) {
+    Violate(inv, now, std::move(detail));
+  }
 
   const AuditReport& report() const { return report_; }
 

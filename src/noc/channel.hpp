@@ -16,6 +16,20 @@
 
 namespace gnoc {
 
+/// Activity notification for the active-set scheduler (DESIGN.md §9): a
+/// plain function pointer + context + the subscriber-chosen index of the
+/// notifying component. Unset hooks cost one null-pointer test per event —
+/// the same cost model the auditor and telemetry hooks use.
+struct WakeHook {
+  void (*fn)(void* ctx, std::size_t index) = nullptr;
+  void* ctx = nullptr;
+  std::size_t index = 0;
+
+  void Notify() const {
+    if (fn != nullptr) fn(ctx, index);
+  }
+};
+
 /// A FIFO pipe where each item becomes visible `latency` cycles after being
 /// pushed. Unbounded: admission control is done by credits, not by the wire.
 template <typename T>
@@ -29,9 +43,14 @@ class DelayLine {
   bool empty() const { return items_.empty(); }
   std::size_t size() const { return items_.size(); }
 
+  /// Fires `hook` on every Push (active-set scheduling: a non-empty channel
+  /// must be on the scheduler's dirty list).
+  void SetWakeHook(WakeHook hook) { wake_ = hook; }
+
   /// Enqueues `item` at time `now`; it is deliverable at `now + latency`.
   void Push(T item, Cycle now) {
     items_.emplace_back(now + latency_, std::move(item));
+    wake_.Notify();
   }
 
   /// True when the front item has arrived by `now`.
@@ -84,6 +103,7 @@ class DelayLine {
 
  private:
   Cycle latency_;
+  WakeHook wake_;
   std::deque<std::pair<Cycle, T>> items_;
 };
 

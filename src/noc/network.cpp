@@ -1,10 +1,33 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cctype>
+#include <stdexcept>
 
 #include "noc/deadlock.hpp"
 
 namespace gnoc {
+
+const char* SchedulingModeName(SchedulingMode m) {
+  switch (m) {
+    case SchedulingMode::kFull: return "full";
+    case SchedulingMode::kActiveSet: return "active-set";
+  }
+  return "?";
+}
+
+SchedulingMode ParseSchedulingMode(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "full") return SchedulingMode::kFull;
+  if (lower == "active-set" || lower == "active" || lower == "activeset") {
+    return SchedulingMode::kActiveSet;
+  }
+  throw std::invalid_argument("scheduling must be full|active-set (got '" +
+                              name + "')");
+}
 
 namespace {
 
@@ -39,6 +62,11 @@ Network::Network(const NetworkConfig& config) : config_(config) {
   rc.atomic_vc_realloc = config.atomic_vc_realloc;
   rc.dynamic_epoch = config.dynamic_epoch;
   rc.arbiter = config.arbiter;
+  // Mesh dimensions let every router precompute its (destination, class) ->
+  // output-port table instead of evaluating the routing function per head
+  // flit.
+  rc.mesh_width = config.width;
+  rc.mesh_height = config.height;
 
   NicConfig nc;
   nc.num_vcs = config.num_vcs;
@@ -156,6 +184,34 @@ Network::Network(const NetworkConfig& config) : config_(config) {
       nc->SetTelemetry(telemetry_.get());
     }
   }
+
+  // The watchdog's progress signal is event-driven in both scheduling
+  // modes: the sinks bump progress_events_ at exactly the sites whose stats
+  // counters the old per-cycle scan summed.
+  for (auto& r : routers_) r->SetProgressSink(&progress_events_);
+  for (auto& nc : nics_) nc->SetProgressSink(&progress_events_);
+
+  // Active-set scheduling: wake hooks keep the four dirty lists sound. All
+  // lists start empty — a fresh network is fully idle, and the first
+  // injection wakes its NIC through Nic::Inject.
+  if (config_.scheduling == SchedulingMode::kActiveSet) {
+    active_routers_.Resize(static_cast<std::size_t>(n));
+    active_nics_.Resize(static_cast<std::size_t>(n));
+    active_flit_links_.Resize(flit_links_.size());
+    active_credit_links_.Resize(credit_links_.size());
+    for (std::size_t i = 0; i < routers_.size(); ++i) {
+      routers_[i]->SetWakeHook({&ActiveSet::AddTo, &active_routers_, i});
+      nics_[i]->SetWakeHook({&ActiveSet::AddTo, &active_nics_, i});
+    }
+    for (std::size_t i = 0; i < flit_links_.size(); ++i) {
+      flit_links_[i]->channel.SetWakeHook(
+          {&ActiveSet::AddTo, &active_flit_links_, i});
+    }
+    for (std::size_t i = 0; i < credit_links_.size(); ++i) {
+      credit_links_[i]->channel.SetWakeHook(
+          {&ActiveSet::AddTo, &active_credit_links_, i});
+    }
+  }
 }
 
 NodeId Network::NodeAt(Coord c) const {
@@ -224,9 +280,33 @@ void Network::DeliverChannels() {
 }
 
 void Network::Tick() {
+  if (config_.scheduling == SchedulingMode::kActiveSet) {
+    TickActive();
+  } else {
+    TickFull();
+  }
+  ++now_;
+}
+
+// Deadlock watchdog: flits in flight but no movement for a long time.
+// `no_flits` is invoked only when no progress event fired this cycle, so
+// both tick paths may pass a lazily evaluated (possibly O(N)) predicate.
+template <typename NoFlitsFn>
+void Network::UpdateWatchdog(NoFlitsFn&& no_flits) {
+  if (progress_events_ != last_progress_counter_ || no_flits()) {
+    last_progress_counter_ = progress_events_;
+    last_progress_cycle_ = now_;
+  } else if (now_ - last_progress_cycle_ >= config_.deadlock_threshold) {
+    deadlocked_ = true;
+  }
+}
+
+void Network::TickFull() {
   DeliverChannels();
   for (auto& r : routers_) r->Tick(now_);
   for (auto& nic : nics_) nic->Tick(now_);
+  tick_steps_ += routers_.size() + nics_.size() + flit_links_.size() +
+                 credit_links_.size();
 
   // Between ticks every atomic operation has completed, so the conservation
   // sums must hold exactly (flit/credit channels count as in-flight).
@@ -238,27 +318,139 @@ void Network::Tick() {
     telemetry_->Sample(now_);
   }
 
-  // Deadlock watchdog: flits in flight but no movement for a long time.
-  const std::uint64_t progress = ProgressCounter();
-  if (progress != last_progress_counter_ || FlitsInFlight() == 0) {
-    last_progress_counter_ = progress;
-    last_progress_cycle_ = now_;
-  } else if (now_ - last_progress_cycle_ >= config_.deadlock_threshold) {
-    deadlocked_ = true;
+  UpdateWatchdog([this] { return FlitsInFlight() == 0; });
+}
+
+void Network::TickActive() {
+  // Phase order mirrors TickFull: deliveries, then routers, then NICs.
+  // Each sweep runs in ascending index order — the order the full path
+  // iterates in — and ActiveSet::Sweep guarantees that a component woken
+  // mid-sweep is handled this cycle iff its index is still ahead, exactly
+  // when the full path would have reached it after the waking event.
+
+  // Flit deliveries. A link leaves the list only once empty; pushes re-add
+  // it through the channel wake hook, and AcceptFlit wakes the receiver.
+  active_flit_links_.Sweep([this](std::size_t i) {
+    ++tick_steps_;
+    FlitLink& link = *flit_links_[i];
+    while (auto flit = link.channel.Pop(now_)) {
+      link.dst_router->AcceptFlit(link.dst_port, *flit, now_);
+    }
+    return !link.channel.empty();
+  });
+
+  // Credit deliveries. Router-bound credits are pushed into the router
+  // (waking it); NIC-bound credit channels are popped by the NIC itself in
+  // its Tick, so an arrived credit just wakes the owning NIC — the same
+  // cycle the full path's NIC tick would have consumed it.
+  active_credit_links_.Sweep([this](std::size_t i) {
+    ++tick_steps_;
+    CreditLink& link = *credit_links_[i];
+    if (link.dst_router != nullptr) {
+      while (auto credit = link.channel.Pop(now_)) {
+        link.dst_router->AcceptCredit(link.dst_port, credit->vc);
+      }
+    } else if (link.channel.Deliverable(now_)) {
+      active_nics_.Add(static_cast<std::size_t>(link.dst_nic->node()));
+    }
+    return !link.channel.empty();
+  });
+
+  active_routers_.Sweep([this](std::size_t i) {
+    ++tick_steps_;
+    Router& r = *routers_[i];
+    r.Tick(now_);
+    return r.HasWork();
+  });
+
+  active_nics_.Sweep([this](std::size_t i) {
+    ++tick_steps_;
+    Nic& n = *nics_[i];
+    n.Tick(now_);
+    return n.HasWork();
+  });
+
+  if (auditor_ != nullptr && auditor_->SnapshotDue(now_)) {
+    CheckSchedulerCoverage();
+    auditor_->RunSnapshot(now_);
   }
-  ++now_;
+
+  if (telemetry_ != nullptr && telemetry_->SampleDue(now_)) {
+    telemetry_->Sample(now_);
+  }
+
+  UpdateWatchdog([this] { return ActiveFlitsInFlight() == 0; });
+}
+
+std::size_t Network::ActiveFlitsInFlight() const {
+  // Every term of the full FlitsInFlight scan is contributed by a component
+  // the wake hooks guarantee is on its dirty list (buffered flits => router
+  // listed, non-empty channel => link listed, non-idle NIC => NIC listed),
+  // so summing over the lists alone reproduces the full scan in O(active).
+  std::size_t total = 0;
+  active_routers_.ForEach(
+      [&](std::size_t i) { total += routers_[i]->BufferedFlits(); });
+  active_flit_links_.ForEach(
+      [&](std::size_t i) { total += flit_links_[i]->channel.size(); });
+  active_nics_.ForEach([&](std::size_t i) {
+    if (!nics_[i]->Idle()) ++total;  // same pending unit as the full scan
+  });
+  return total;
+}
+
+void Network::CheckSchedulerCoverage() {
+  assert(auditor_ != nullptr &&
+         config_.scheduling == SchedulingMode::kActiveSet);
+  const auto violate = [this](const std::string& what, std::size_t i) {
+    auditor_->ReportViolation(
+        AuditInvariant::kSchedulerCoverage, now_,
+        what + " " + std::to_string(i) +
+            " has pending work but is not on the scheduler's dirty list");
+  };
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    if (routers_[i]->HasWork() && !active_routers_.Contains(i)) {
+      violate("router", i);
+    }
+  }
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    if (nics_[i]->HasWork() && !active_nics_.Contains(i)) violate("nic", i);
+  }
+  for (std::size_t i = 0; i < flit_links_.size(); ++i) {
+    if (!flit_links_[i]->channel.empty() && !active_flit_links_.Contains(i)) {
+      violate("flit link", i);
+    }
+  }
+  for (std::size_t i = 0; i < credit_links_.size(); ++i) {
+    if (!credit_links_[i]->channel.empty() &&
+        !active_credit_links_.Contains(i)) {
+      violate("credit link", i);
+    }
+  }
+}
+
+void Network::ForceSleepAll() {
+  active_routers_.Clear();
+  active_nics_.Clear();
+  active_flit_links_.Clear();
+  active_credit_links_.Clear();
 }
 
 bool Network::Drain(Cycle max_cycles) {
+  // Under active-set scheduling the dirty lists make the per-cycle drained
+  // check O(active); the values are identical (see ActiveFlitsInFlight).
+  const bool active = config_.scheduling == SchedulingMode::kActiveSet;
+  const auto flits_in_flight = [&] {
+    return active ? ActiveFlitsInFlight() : FlitsInFlight();
+  };
   for (Cycle i = 0; i < max_cycles; ++i) {
-    if (FlitsInFlight() == 0) {
+    if (flits_in_flight() == 0) {
       AuditQuiescence();
       return true;
     }
     if (deadlocked_) return false;
     Tick();
   }
-  const bool drained = FlitsInFlight() == 0;
+  const bool drained = flits_in_flight() == 0;
   if (drained) AuditQuiescence();
   return drained;
 }
@@ -300,16 +492,6 @@ bool Network::InjectFault(AuditFault fault) {
       return false;
   }
   return false;
-}
-
-std::uint64_t Network::ProgressCounter() const {
-  std::uint64_t total = 0;
-  for (const auto& r : routers_) total += r->stats().flits_forwarded;
-  for (const auto& n : nics_) {
-    total += n->stats().flits_injected[0] + n->stats().flits_injected[1];
-    total += n->stats().packets_ejected[0] + n->stats().packets_ejected[1];
-  }
-  return total;
 }
 
 std::size_t Network::FlitsInFlight() const {
@@ -354,7 +536,8 @@ void Network::ResetStats() {
   if (telemetry_ != nullptr) telemetry_->OnStatsReset(now_);
   for (auto& r : routers_) r->ResetStats();
   for (auto& n : nics_) n->ResetStats();
-  last_progress_counter_ = ProgressCounter();  // == 0 after resets
+  // progress_events_ is cumulative (never reset); re-baseline against it.
+  last_progress_counter_ = progress_events_;
   last_progress_cycle_ = now_;
 }
 

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "noc/active_set.hpp"
 #include "noc/audit.hpp"
 #include "noc/channel.hpp"
 #include "noc/nic.hpp"
@@ -21,6 +23,25 @@
 namespace gnoc {
 
 class LinkUsage;
+
+/// How Network::Tick schedules component updates (DESIGN.md §9).
+enum class SchedulingMode : std::uint8_t {
+  /// Tick every router, NIC and channel every cycle (the reference path).
+  kFull = 0,
+  /// Tick only components with pending work, tracked by wake hooks on a
+  /// per-kind dirty list swept in ascending index order. Bit-identical to
+  /// kFull — stats, telemetry windows, audit reports and watchdog verdicts
+  /// all match — but cycles where most of the mesh is idle cost O(active)
+  /// instead of O(nodes).
+  kActiveSet = 1,
+};
+
+/// Human readable name ("full", "active-set").
+const char* SchedulingModeName(SchedulingMode m);
+
+/// Parses "full" / "active-set" / "active" (case-insensitive). Throws
+/// std::invalid_argument on unknown names.
+SchedulingMode ParseSchedulingMode(const std::string& name);
 
 /// Full network configuration.
 struct NetworkConfig {
@@ -58,6 +79,9 @@ struct NetworkConfig {
   /// Window cap per metric track; when reached, adjacent windows merge and
   /// the width doubles (0 = unbounded).
   std::size_t telemetry_max_windows = 512;
+  /// Component scheduling discipline; kActiveSet skips idle routers/NICs/
+  /// channels bit-identically (see SchedulingMode).
+  SchedulingMode scheduling = SchedulingMode::kFull;
 };
 
 /// Aggregated network-level counters (see also RouterStats / NicStats).
@@ -184,6 +208,20 @@ class Network {
   /// flight).
   bool InjectFault(AuditFault fault);
 
+  // --- scheduling (config_.scheduling; see SchedulingMode) ---
+
+  /// Component updates performed so far: one per router/NIC tick and one
+  /// per channel visit. Under kFull this grows by (routers + NICs + links)
+  /// every cycle; under kActiveSet only by the active count — the O(active)
+  /// claim tests assert on exactly this.
+  std::uint64_t TickSteps() const { return tick_steps_; }
+
+  /// Drops every component from the active-set scheduler's dirty lists
+  /// WITHOUT regard to pending work — deliberately planting the lost-wakeup
+  /// bug the scheduler-coverage audit invariant exists to catch (mutation
+  /// tests only). No-op under kFull scheduling.
+  void ForceSleepAll();
+
  private:
   struct FlitLink {
     FlitChannel channel;
@@ -198,7 +236,24 @@ class Network {
   };
 
   void DeliverChannels();
-  std::uint64_t ProgressCounter() const;
+
+  /// One full-scheduling cycle (the reference path).
+  void TickFull();
+  /// One active-set cycle: sweeps the four dirty lists in phase order
+  /// (flit links, credit links, routers, NICs), each in ascending index.
+  void TickActive();
+  /// Shared watchdog tail of both tick paths. `no_flits` must equal
+  /// `FlitsInFlight() == 0` at the post-tick boundary (callers may compute
+  /// it lazily: it is only read when no progress event fired this cycle).
+  template <typename NoFlitsFn>
+  void UpdateWatchdog(NoFlitsFn&& no_flits);
+  /// FlitsInFlight computed from the dirty lists alone — equal to the full
+  /// scan whenever scheduler coverage holds (components with work are
+  /// always listed), in O(active).
+  std::size_t ActiveFlitsInFlight() const;
+  /// Audits that every component with pending work is on its dirty list
+  /// (kSchedulerCoverage; active-set scheduling with auditing on).
+  void CheckSchedulerCoverage();
 
   NetworkConfig config_;
   std::vector<std::unique_ptr<Router>> routers_;
@@ -208,10 +263,25 @@ class Network {
   std::unique_ptr<Auditor> auditor_;  ///< non-null iff config_.audit
   std::unique_ptr<Telemetry> telemetry_;  ///< non-null iff config_.telemetry
 
+  // Active-set scheduling state (empty/unused under kFull). Sets are
+  // indexed by NodeId for routers/NICs and by position in flit_links_ /
+  // credit_links_ for channels; wake hooks installed at construction keep
+  // them sound.
+  ActiveSet active_routers_;
+  ActiveSet active_nics_;
+  ActiveSet active_flit_links_;
+  ActiveSet active_credit_links_;
+
   Cycle now_ = 0;
   PacketId next_packet_id_ = 1;
+  std::uint64_t tick_steps_ = 0;
 
-  // Baselines subtracted by ResetStats().
+  // Deadlock-watchdog state. `progress_events_` counts forward-progress
+  // events (switch traversals, flit injections, packet ejections) via the
+  // router/NIC progress sinks; it changes exactly when the stats-scan sum
+  // the watchdog previously recomputed every cycle would change, and is
+  // never reset (ResetStats re-baselines `last_progress_counter_` instead).
+  std::uint64_t progress_events_ = 0;
   std::uint64_t last_progress_counter_ = 0;
   Cycle last_progress_cycle_ = 0;
   bool deadlocked_ = false;

@@ -47,6 +47,7 @@ bool Nic::Inject(const Packet& packet, Coord dst_coord, Cycle now) {
   inject_queues_[ci].emplace_back(packet, dst_coord);
   ++stats_.packets_injected[ci];
   ++stats_.packets_by_type[static_cast<std::size_t>(packet.type)];
+  wake_.Notify();
   return true;
 }
 
@@ -67,12 +68,15 @@ void Nic::AcceptEjectedFlit(const Flit& flit, Cycle now) {
   eject_buffers_[ci].push_back(flit);
   ++eject_held_[ci];
   ++stats_.flits_ejected[ci];
+  wake_.Notify();
 }
 
 void Nic::Tick(Cycle now) {
-  if (config_.vc_policy == VcPolicyKind::kDynamic &&
-      now >= next_boundary_update_) {
-    UpdateDynamicBoundary(now);
+  if (config_.vc_policy == VcPolicyKind::kDynamic) {
+    // Catch-up loop for epochs slept through under active-set scheduling;
+    // see Router::Tick. Missed epochs always have zero counts, so replaying
+    // them is boundary-preserving and bit-identical to full scheduling.
+    while (now >= next_boundary_update_) UpdateDynamicBoundary();
   }
   ConsumeCredits(now);
   StartPackets(now);
@@ -87,11 +91,12 @@ VcRange Nic::InjectionRange(TrafficClass cls) const {
   return policy_.AllowedVcs(cls, Port::kLocal, link_mode_);
 }
 
-void Nic::UpdateDynamicBoundary(Cycle now) {
+void Nic::UpdateDynamicBoundary() {
   const std::uint64_t req = epoch_flits_[ClassIndex(TrafficClass::kRequest)];
   const std::uint64_t rep = epoch_flits_[ClassIndex(TrafficClass::kReply)];
   epoch_flits_.fill(0);
-  next_boundary_update_ = now + config_.dynamic_epoch;
+  epoch_dirty_ = false;
+  next_boundary_update_ += config_.dynamic_epoch;
   if (req + rep == 0) return;
   const VcId target = BoundaryForShare(
       static_cast<double>(req) / static_cast<double>(req + rep),
@@ -181,8 +186,10 @@ void Nic::SendFlits(Cycle now) {
       --credits_[v];
       inject_channel_->Push(flit, now);
       if (auditor_ != nullptr) auditor_->OnFlitSent(audit_link_, flit, now);
+      if (progress_sink_ != nullptr) ++*progress_sink_;
       ++stats_.flits_injected[static_cast<std::size_t>(ClassIndex(flit.cls))];
       ++epoch_flits_[static_cast<std::size_t>(ClassIndex(flit.cls))];
+      epoch_dirty_ = true;
       if (send.remaining.empty()) send.draining = true;
       send_rr_ = (v + 1) % num_vcs;
       ++sent;
@@ -244,6 +251,7 @@ void Nic::DrainEjection(Cycle now) {
       eject_held_[static_cast<std::size_t>(ci)] -= packet.num_flits;
       assert(eject_held_[static_cast<std::size_t>(ci)] >= 0);
       ++stats_.packets_ejected[static_cast<std::size_t>(ci)];
+      if (progress_sink_ != nullptr) ++*progress_sink_;
       stats_.packet_latency[static_cast<std::size_t>(ci)].Add(
           static_cast<double>(now - packet.created));
       stats_.network_latency[static_cast<std::size_t>(ci)].Add(

@@ -114,6 +114,16 @@ class Nic {
   /// the NIC reports per-packet delivery latencies to it.
   void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
+  /// Fired whenever an event arrives (packet queued for injection, flit
+  /// ejected into this NIC) so the active-set scheduler can put this NIC
+  /// back on its dirty list.
+  void SetWakeHook(WakeHook hook) { wake_ = hook; }
+
+  /// Counter bumped on every injected flit and ejected packet (the
+  /// network's incremental deadlock-watchdog progress signal). nullptr =
+  /// off.
+  void SetProgressSink(std::uint64_t* sink) { progress_sink_ = sink; }
+
   /// Injection bandwidth in flits per cycle (default 1). Prior work
   /// (Bakhoda et al. [3], Kim et al. [11]) provisions extra injection
   /// bandwidth at the few memory controllers to serve burst read replies;
@@ -170,6 +180,15 @@ class Nic {
   /// True when nothing is buffered on either side (for drain detection).
   bool Idle() const;
 
+  /// True when a Tick can still change state: anything buffered or busy, or
+  /// (dynamic policy) uncommitted epoch flit counts. See Router::HasWork.
+  /// Credits in flight back to an idle NIC need no term here: the network
+  /// re-wakes the NIC when its credit channel has a deliverable credit.
+  bool HasWork() const {
+    return !Idle() ||
+           (config_.vc_policy == VcPolicyKind::kDynamic && epoch_dirty_);
+  }
+
  private:
   /// One in-progress packet transmission bound to an injection VC.
   struct ActiveSend {
@@ -182,7 +201,7 @@ class Nic {
   VcRange InjectionRange(TrafficClass cls) const;
 
   /// Advances the dynamic-partitioning feedback loop.
-  void UpdateDynamicBoundary(Cycle now);
+  void UpdateDynamicBoundary();
 
   /// Pops returned credits from the router.
   void ConsumeCredits(Cycle now);
@@ -214,9 +233,13 @@ class Nic {
   int start_rr_ = 0;               // round-robin pointer over classes
   int inject_flits_per_cycle_ = 1;
 
+  WakeHook wake_;
+  std::uint64_t* progress_sink_ = nullptr;
+
   // Dynamic-partitioning state for the injection link.
   VcId boundary_ = 1;
   std::array<std::uint64_t, kNumClasses> epoch_flits_{};
+  bool epoch_dirty_ = false;  ///< any epoch_flits_ entry nonzero
   Cycle next_boundary_update_ = 0;
 
   std::array<std::deque<Flit>, kNumClasses> eject_buffers_;

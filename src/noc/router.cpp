@@ -29,6 +29,19 @@ Router::Router(NodeId node, Coord coord, const RouterConfig& config)
                                    0);
   audit_out_.fill(-1);
   audit_in_.fill(-1);
+  if (config_.mesh_width > 0 && config_.mesh_height > 0) {
+    route_lut_.reserve(static_cast<std::size_t>(
+        config_.mesh_width * config_.mesh_height * kNumClasses));
+    for (int y = 0; y < config_.mesh_height; ++y) {
+      for (int x = 0; x < config_.mesh_width; ++x) {
+        for (int c = 0; c < kNumClasses; ++c) {
+          route_lut_.push_back(ComputeOutputPort(config_.routing,
+                                                 static_cast<TrafficClass>(c),
+                                                 coord_, Coord{x, y}));
+        }
+      }
+    }
+  }
   for (int p = 0; p < kNumPorts; ++p) {
     va_arb_.push_back(MakeArbiter(config_.arbiter, total_vcs));
     sa_input_arb_.push_back(
@@ -69,6 +82,7 @@ void Router::AcceptFlit(Port in_port, const Flit& flit, Cycle now) {
   Flit f = flit;
   f.ready = now + 1;  // models the RC/VA/SA pipeline stage
   ivc.buffer.Push(f);
+  wake_.Notify();
 }
 
 void Router::AcceptCredit(Port out_port, VcId vc) {
@@ -76,6 +90,7 @@ void Router::AcceptCredit(Port out_port, VcId vc) {
   OutputVc& ovc = Ovc(out_port, vc);
   ++ovc.credits;
   assert(ovc.credits <= config_.vc_depth && "credit overflow");
+  wake_.Notify();
 }
 
 bool Router::FrontEligible(const InputVc& ivc, Cycle now) const {
@@ -83,9 +98,13 @@ bool Router::FrontEligible(const InputVc& ivc, Cycle now) const {
 }
 
 void Router::Tick(Cycle now) {
-  if (config_.vc_policy == VcPolicyKind::kDynamic &&
-      now >= next_boundary_update_) {
-    UpdateDynamicBoundaries(now);
+  if (config_.vc_policy == VcPolicyKind::kDynamic) {
+    // The loop replays boundary updates a sleeping router missed under
+    // active-set scheduling. Only zero-count epochs can be missed (nonzero
+    // epoch counts keep HasWork true), and those never move the boundary,
+    // so the caught-up state is bit-identical to full scheduling; under
+    // full scheduling the loop body runs at most once per tick.
+    while (now >= next_boundary_update_) UpdateDynamicBoundaries();
   }
   RecycleOutputVcs();
   RouteAndAllocate(now);
@@ -103,7 +122,7 @@ VcRange Router::AllowedRange(TrafficClass cls, Port out_port) const {
       cls, out_port, link_modes_[static_cast<std::size_t>(PortIndex(out_port))]);
 }
 
-void Router::UpdateDynamicBoundaries(Cycle now) {
+void Router::UpdateDynamicBoundaries() {
   for (int p = 0; p < kNumPorts; ++p) {
     auto& counts = epoch_flits_[static_cast<std::size_t>(p)];
     const std::uint64_t req = counts[ClassIndex(TrafficClass::kRequest)];
@@ -121,7 +140,11 @@ void Router::UpdateDynamicBoundaries(Cycle now) {
       --boundary;
     }
   }
-  next_boundary_update_ = now + config_.dynamic_epoch;
+  epoch_dirty_ = false;
+  // += (not now + epoch) keeps boundaries on the construction-time epoch
+  // grid even when updates are replayed late; equivalent under full
+  // scheduling, where updates fire exactly at the grid points.
+  next_boundary_update_ += config_.dynamic_epoch;
 }
 
 VcId Router::DynamicBoundary(Port out_port) const {
@@ -153,8 +176,7 @@ void Router::RouteAndAllocate(Cycle now) {
       const Flit& front = ivc.buffer.Front();
       assert(IsHead(front) &&
              "non-head flit at front of an unrouted VC: wormhole broken");
-      ivc.out_port =
-          ComputeOutputPort(config_.routing, front.cls, coord_, front.dst_coord);
+      ivc.out_port = RouteFor(front.cls, front.dst_coord);
       ivc.route_valid = true;
       ivc.eject = (ivc.out_port == Port::kLocal);
       ivc.out_vc = kInvalidVc;
@@ -276,10 +298,12 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
     Flit flit = ivc.buffer.Pop();
     any_traversal = true;
     ++stats_.flits_forwarded;
+    if (progress_sink_ != nullptr) ++*progress_sink_;
     stats_.flits_out[static_cast<std::size_t>(op)]
                     [static_cast<std::size_t>(ClassIndex(flit.cls))]++;
     epoch_flits_[static_cast<std::size_t>(op)]
                 [static_cast<std::size_t>(ClassIndex(flit.cls))]++;
+    epoch_dirty_ = true;
 
     // Return a credit to whoever feeds this input port.
     if (CreditChannel* cc = credit_return_[static_cast<std::size_t>(p)]) {

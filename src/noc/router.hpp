@@ -47,6 +47,13 @@ struct RouterConfig {
   Cycle dynamic_epoch = 512;
   /// Arbiter microarchitecture used by the VA and SA stages.
   ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+  /// Mesh dimensions, when the router lives in a mesh network. Non-zero
+  /// dimensions let the router precompute a per-(destination, class) route
+  /// lookup table at construction instead of running the routing function
+  /// per head flit; 0 (standalone routers in unit tests) falls back to
+  /// ComputeOutputPort.
+  int mesh_width = 0;
+  int mesh_height = 0;
 };
 
 /// Per-router counters, exposed for link-utilization analysis (Fig. 4/6).
@@ -108,6 +115,14 @@ class Router {
     audit_in_[static_cast<std::size_t>(PortIndex(in_port))] = link;
   }
 
+  /// Fired whenever an event arrives (flit or credit) so the active-set
+  /// scheduler can put this router back on its dirty list.
+  void SetWakeHook(WakeHook hook) { wake_ = hook; }
+
+  /// Counter bumped on every switch traversal (the network's incremental
+  /// deadlock-watchdog progress signal). nullptr = off.
+  void SetProgressSink(std::uint64_t* sink) { progress_sink_ = sink; }
+
   // --- per-cycle interface (called by Network) ---
 
   /// Delivers a flit arriving on `in_port`; it occupies the VC the upstream
@@ -137,6 +152,28 @@ class Router {
 
   /// Total flits currently buffered in all input VCs.
   std::size_t BufferedFlits() const;
+
+  /// True when a Tick can still change state: flits buffered, or (dynamic
+  /// policy) uncommitted epoch flit counts awaiting the next boundary
+  /// update. The active-set scheduler removes a router from its dirty list
+  /// only when this is false; every way it can become true again fires the
+  /// wake hook. Credits in flight need no term: a credit delivery fires the
+  /// hook, and the recycle it enables is a pure function of credit state.
+  bool HasWork() const {
+    return BufferedFlits() > 0 ||
+           (config_.vc_policy == VcPolicyKind::kDynamic && epoch_dirty_);
+  }
+
+  /// The output port a packet of class `cls` headed for `dst` takes here
+  /// (LUT when mesh dimensions are known, ComputeOutputPort otherwise).
+  Port RouteFor(TrafficClass cls, Coord dst) const {
+    if (route_lut_.empty()) {
+      return ComputeOutputPort(config_.routing, cls, coord_, dst);
+    }
+    const std::size_t idx = static_cast<std::size_t>(
+        (dst.y * config_.mesh_width + dst.x) * kNumClasses + ClassIndex(cls));
+    return route_lut_[idx];
+  }
 
   /// Occupancy of one input VC (for tests and invariant checks).
   std::size_t VcOccupancy(Port in_port, VcId vc) const;
@@ -183,7 +220,7 @@ class Router {
 
   /// Moves each port's dynamic boundary one step towards the traffic share
   /// observed in the finished epoch, then starts a new epoch.
-  void UpdateDynamicBoundaries(Cycle now);
+  void UpdateDynamicBoundaries();
 
   int FlatVcIndex(Port port, VcId vc) const {
     return PortIndex(port) * config_.num_vcs + vc;
@@ -225,10 +262,18 @@ class Router {
   std::array<int, kNumPorts> audit_out_{};  // audit link ids, -1 = none
   std::array<int, kNumPorts> audit_in_{};
 
+  WakeHook wake_;
+  std::uint64_t* progress_sink_ = nullptr;
+
+  /// Per-(destination node, class) output ports, precomputed when the mesh
+  /// dimensions are known; empty = compute per head flit.
+  std::vector<Port> route_lut_;
+
   // Dynamic-partitioning state: per-port boundary and per-epoch flit
   // counters by class.
   std::array<VcId, kNumPorts> boundaries_{};
   std::array<std::array<std::uint64_t, kNumClasses>, kNumPorts> epoch_flits_{};
+  bool epoch_dirty_ = false;  ///< any epoch_flits_ entry nonzero
   Cycle next_boundary_update_ = 0;
 
   // One VA arbiter per output port (over all input VCs), one SA input

@@ -220,6 +220,9 @@ GpuRunStats RunCell(const SchemeSpec& scheme, const WorkloadProfile& workload,
       config.telemetry_interval = options.telemetry_interval;
     }
   }
+  if (options.scheduling.has_value()) {
+    config.scheduling = *options.scheduling;
+  }
   GpuSystem gpu(config, workload);
   return gpu.Run(options.lengths.warmup, options.lengths.measure);
 }

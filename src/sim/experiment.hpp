@@ -16,6 +16,7 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -140,6 +141,9 @@ struct SweepOptions {
   /// Sampling interval applied when `telemetry` is set (0 = keep each
   /// scheme's GpuConfig::telemetry_interval).
   Cycle telemetry_interval = 0;
+  /// NoC scheduling mode applied to every cell when set (overrides each
+  /// scheme's GpuConfig::scheduling; see SchedulingMode in noc/network.hpp).
+  std::optional<SchedulingMode> scheduling;
 };
 
 /// The sweep grid in execution order (workload-major, matching the layout

@@ -45,6 +45,9 @@ void GpuConfig::ApplyOverrides(const Config& overrides) {
   telemetry_max_windows = static_cast<std::size_t>(overrides.GetInt(
       "telemetry_max_windows",
       static_cast<std::int64_t>(telemetry_max_windows)));
+  if (overrides.Contains("scheduling")) {
+    scheduling = ParseSchedulingMode(overrides.GetString("scheduling"));
+  }
   ideal_noc = overrides.GetBool("ideal_noc", ideal_noc);
   mc_inject_flits_per_cycle = static_cast<int>(overrides.GetInt(
       "mc_inject_bw", mc_inject_flits_per_cycle));
@@ -78,6 +81,7 @@ std::string GpuConfig::Describe() const {
       << VcPolicyName(vc_policy) << ", " << num_vcs << " VCs x depth "
       << vc_depth;
   if (division == NetworkDivision::kPhysical) oss << ", dual physical nets";
+  if (scheduling == SchedulingMode::kActiveSet) oss << ", active-set sched";
   return oss.str();
 }
 

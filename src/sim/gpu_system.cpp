@@ -35,6 +35,7 @@ GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
   net.telemetry = config_.telemetry;
   net.telemetry_interval = config_.telemetry_interval;
   net.telemetry_max_windows = config_.telemetry_max_windows;
+  net.scheduling = config_.scheduling;
   if (config_.ideal_noc) {
     IdealFabricConfig ideal;
     ideal.width = config_.width;

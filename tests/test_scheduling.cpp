@@ -1,0 +1,394 @@
+// Tests of active-set scheduling: bit-identical results vs full-tick mode
+// across the design space, O(active) cost on idle networks, deadlock
+// watchdog parity, scheduler-coverage auditing, and the route-LUT fast
+// path agreeing with the analytic routing function.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "noc/audit.hpp"
+#include "noc/network.hpp"
+#include "noc/placement.hpp"
+#include "noc/routing.hpp"
+#include "noc/traffic.hpp"
+#include "noc/vc_policy.hpp"
+#include "sim/experiment.hpp"
+#include "sim/gpu_system.hpp"
+
+namespace gnoc {
+namespace {
+
+// --- mode plumbing ---------------------------------------------------------
+
+TEST(SchedulingModeTest, NamesRoundTrip) {
+  EXPECT_STREQ(SchedulingModeName(SchedulingMode::kFull), "full");
+  EXPECT_STREQ(SchedulingModeName(SchedulingMode::kActiveSet), "active-set");
+  EXPECT_EQ(ParseSchedulingMode("full"), SchedulingMode::kFull);
+  EXPECT_EQ(ParseSchedulingMode("active-set"), SchedulingMode::kActiveSet);
+  EXPECT_EQ(ParseSchedulingMode("ACTIVE"), SchedulingMode::kActiveSet);
+  EXPECT_THROW(ParseSchedulingMode("lazy"), std::invalid_argument);
+}
+
+// --- bit identity, network level -------------------------------------------
+
+// Serializes everything observable about a finished network run: summary
+// counters, per-class latency moments, audit counters and the full
+// telemetry CSV. Two runs are "bit-identical" iff these strings match.
+std::string NetworkFingerprint(NetworkConfig cfg, SchedulingMode mode,
+                               double injection_rate) {
+  cfg.scheduling = mode;
+  cfg.audit = true;
+  cfg.audit_interval = 4;
+  cfg.telemetry = true;
+  cfg.telemetry_interval = 50;
+  Network net(cfg);
+  OpenLoopConfig tcfg;
+  tcfg.pattern = TrafficPattern::kUniformRandom;
+  tcfg.injection_rate = injection_rate;
+  tcfg.packet_size = 4;
+  OpenLoopTraffic traffic(net, tcfg);
+  for (int c = 0; c < 1200; ++c) {
+    traffic.Tick();
+    net.Tick();
+  }
+  const bool drained = net.Drain(10000);
+
+  std::ostringstream out;
+  out.precision(17);
+  out << "drained=" << drained << " deadlocked=" << net.Deadlocked()
+      << " now=" << net.now() << " in_flight=" << net.FlitsInFlight()
+      << " generated=" << traffic.generated()
+      << " dropped=" << traffic.dropped() << '\n';
+  const NetworkSummary s = net.Summarize();
+  for (int c = 0; c < kNumClasses; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    out << "class " << c << ": pkts " << s.packets_injected[ci] << '/'
+        << s.packets_ejected[ci] << " flits " << s.flits_injected[ci] << '/'
+        << s.flits_ejected[ci] << " plat " << s.packet_latency[ci].count()
+        << ' ' << s.packet_latency[ci].mean() << ' '
+        << s.packet_latency[ci].max() << " nlat "
+        << s.network_latency[ci].count() << ' '
+        << s.network_latency[ci].mean() << '\n';
+  }
+  out << "forwarded=" << s.flits_forwarded << '\n';
+  const AuditReport r = net.AuditResults();
+  out << "audit checks=" << r.checks << " events=" << r.events
+      << " violations=" << r.violations << " inj=" << r.flits_injected
+      << " ej=" << r.flits_ejected << '\n';
+  net.TelemetryResults().WriteCsv(out);
+  return out.str();
+}
+
+// kFull and kActiveSet must agree bit-for-bit — stats, audit counters and
+// telemetry windows — for every routing x VC-policy combination, with the
+// auditor and telemetry sampler running in both modes.
+TEST(SchedulingBitIdentityTest, OpenLoopMatrixMatchesFullMode) {
+  const RoutingAlgorithm routings[] = {
+      RoutingAlgorithm::kXY, RoutingAlgorithm::kYX, RoutingAlgorithm::kXYYX};
+  const VcPolicyKind policies[] = {VcPolicyKind::kSplit,
+                                   VcPolicyKind::kAsymmetric,
+                                   VcPolicyKind::kDynamic};
+  for (RoutingAlgorithm routing : routings) {
+    for (VcPolicyKind policy : policies) {
+      NetworkConfig cfg;
+      cfg.width = 4;
+      cfg.height = 4;
+      cfg.num_vcs = 4;
+      cfg.vc_depth = 4;
+      cfg.routing = routing;
+      cfg.vc_policy = policy;
+      cfg.dynamic_epoch = 64;
+      const std::string label =
+          std::string(RoutingName(routing)) + "/" + VcPolicyName(policy);
+      const std::string full =
+          NetworkFingerprint(cfg, SchedulingMode::kFull, 0.1);
+      const std::string active =
+          NetworkFingerprint(cfg, SchedulingMode::kActiveSet, 0.1);
+      EXPECT_EQ(full, active) << label;
+    }
+  }
+}
+
+// The equivalence must also hold near saturation, where almost everything
+// is active and the sweeps exercise mid-cycle re-wake paths.
+TEST(SchedulingBitIdentityTest, HighLoadMatchesFullMode) {
+  NetworkConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  cfg.num_vcs = 4;
+  cfg.vc_depth = 4;
+  const std::string full = NetworkFingerprint(cfg, SchedulingMode::kFull, 0.4);
+  const std::string active =
+      NetworkFingerprint(cfg, SchedulingMode::kActiveSet, 0.4);
+  EXPECT_EQ(full, active);
+}
+
+// --- bit identity, full GPU model ------------------------------------------
+
+void ExpectRunsEqual(const GpuRunStats& a, const GpuRunStats& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.ipc, b.ipc) << label;
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_EQ(a.instructions, b.instructions) << label;
+  EXPECT_EQ(a.packets_by_type, b.packets_by_type) << label;
+  EXPECT_EQ(a.request_flits, b.request_flits) << label;
+  EXPECT_EQ(a.reply_flits, b.reply_flits) << label;
+  EXPECT_EQ(a.l2_miss_rate, b.l2_miss_rate) << label;
+  EXPECT_EQ(a.dram_row_hit_rate, b.dram_row_hit_rate) << label;
+  EXPECT_EQ(a.avg_read_latency, b.avg_read_latency) << label;
+  EXPECT_EQ(a.deadlocked, b.deadlocked) << label;
+  EXPECT_EQ(a.network.flits_forwarded, b.network.flits_forwarded) << label;
+  for (int c = 0; c < kNumClasses; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    EXPECT_EQ(a.network.packets_ejected[ci], b.network.packets_ejected[ci])
+        << label;
+    EXPECT_EQ(a.network.packet_latency[ci].count(),
+              b.network.packet_latency[ci].count())
+        << label;
+    EXPECT_EQ(a.network.packet_latency[ci].mean(),
+              b.network.packet_latency[ci].mean())
+        << label;
+  }
+  EXPECT_EQ(a.audit.checks, b.audit.checks) << label;
+  EXPECT_EQ(a.audit.events, b.audit.events) << label;
+  EXPECT_EQ(a.audit.violations, b.audit.violations) << label;
+  std::ostringstream ta;
+  std::ostringstream tb;
+  a.telemetry.WriteCsv(ta);
+  b.telemetry.WriteCsv(tb);
+  EXPECT_EQ(ta.str(), tb.str()) << label;
+}
+
+// Every deadlock-safe VC policy x routing x placement combination of the
+// full GPU model must produce identical results under both schedulers,
+// with the auditor and telemetry enabled.
+TEST(SchedulingBitIdentityTest, GpuDesignSpaceMatchesFullMode) {
+  const VcPolicyKind policies[] = {
+      VcPolicyKind::kSplit, VcPolicyKind::kFullMonopolize,
+      VcPolicyKind::kPartialMonopolize, VcPolicyKind::kAsymmetric,
+      VcPolicyKind::kDynamic};
+  const RoutingAlgorithm routings[] = {
+      RoutingAlgorithm::kXY, RoutingAlgorithm::kYX, RoutingAlgorithm::kXYYX};
+  int compared = 0;
+  for (McPlacement placement : kAllPlacements) {
+    for (RoutingAlgorithm routing : routings) {
+      for (VcPolicyKind policy : policies) {
+        GpuConfig cfg = GpuConfig::Baseline();
+        cfg.placement = placement;
+        cfg.routing = routing;
+        cfg.vc_policy = policy;
+        cfg.audit = true;
+        cfg.audit_interval = 8;
+        cfg.telemetry = true;
+        cfg.telemetry_interval = 100;
+        const std::string label = std::string(McPlacementName(placement)) +
+                                  "/" + RoutingName(routing) + "/" +
+                                  VcPolicyName(policy);
+        try {
+          cfg.scheduling = SchedulingMode::kFull;
+          GpuSystem full(cfg, FindWorkload("BFS"));
+          const GpuRunStats a = full.Run(/*warmup=*/100, /*measure=*/300);
+          cfg.scheduling = SchedulingMode::kActiveSet;
+          GpuSystem active(cfg, FindWorkload("BFS"));
+          const GpuRunStats b = active.Run(/*warmup=*/100, /*measure=*/300);
+          ExpectRunsEqual(a, b, label);
+          ++compared;
+        } catch (const std::invalid_argument&) {
+          // Deadlock-unsafe combination: correctly refused up front.
+        }
+      }
+    }
+  }
+  EXPECT_GE(compared, 12) << "design space unexpectedly small";
+}
+
+// The sweep engine forwards its scheduling override into every cell.
+TEST(SchedulingBitIdentityTest, SweepOverrideMatchesFullMode) {
+  SchemeSpec scheme{"baseline", GpuConfig::Baseline()};
+  SweepOptions opts;
+  opts.lengths = RunLengths{100, 500};
+  opts.threads = 1;
+  opts.scheduling = SchedulingMode::kActiveSet;
+  const SweepResult active =
+      RunSweep({scheme}, {FindWorkload("KMN")}, opts);
+  opts.scheduling = SchedulingMode::kFull;
+  const SweepResult full = RunSweep({scheme}, {FindWorkload("KMN")}, opts);
+  ExpectRunsEqual(full.Get("baseline", "KMN"), active.Get("baseline", "KMN"),
+                  "sweep override");
+}
+
+// --- O(active) cost --------------------------------------------------------
+
+// An idle network must cost nothing per cycle beyond the empty dirty-list
+// sweeps: the component step counter stays at zero.
+TEST(SchedulingCostTest, IdleNetworkTicksNoComponents) {
+  NetworkConfig cfg;
+  cfg.scheduling = SchedulingMode::kActiveSet;
+  Network net(cfg);
+  for (int c = 0; c < 1000; ++c) net.Tick();
+  EXPECT_EQ(net.TickSteps(), 0u);
+
+  cfg.scheduling = SchedulingMode::kFull;
+  Network full(cfg);
+  for (int c = 0; c < 1000; ++c) full.Tick();
+  // Full mode visits every router, NIC and channel every cycle.
+  EXPECT_GE(full.TickSteps(), 1000u * 128u);
+}
+
+// A single packet wakes only the components on its path; the step count
+// stays far below the full-tick bill for the same run.
+TEST(SchedulingCostTest, SparseTrafficTicksFewComponents) {
+  NetworkConfig cfg;
+  cfg.scheduling = SchedulingMode::kActiveSet;
+  Network net(cfg);
+  struct Sink : PacketSink {
+    bool Accept(const Packet&, Cycle) override { return true; }
+  } sink;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) net.SetSink(n, &sink);
+  Packet p;
+  p.src = 0;
+  p.dst = net.num_nodes() - 1;
+  p.type = PacketType::kReadRequest;
+  p.num_flits = 2;
+  ASSERT_TRUE(net.Inject(p));
+  ASSERT_TRUE(net.Drain(1000));
+  const std::uint64_t active_steps = net.TickSteps();
+  EXPECT_GT(active_steps, 0u);
+  // Full mode would have stepped all ~384 components x ~30+ cycles.
+  EXPECT_LT(active_steps, net.now() * 128u / 4u);
+}
+
+// --- watchdog parity -------------------------------------------------------
+
+// A sink that never accepts wedges the network; the watchdog must fire in
+// active-set mode too (all components asleep + flits in flight is exactly
+// the case a naive active-set watchdog would miss), and at the same cycle
+// as in full mode.
+Cycle DeadlockCycle(SchedulingMode mode) {
+  NetworkConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  cfg.deadlock_threshold = 200;
+  cfg.scheduling = mode;
+  Network net(cfg);
+  struct RefusingSink : PacketSink {
+    bool Accept(const Packet&, Cycle) override { return false; }
+  } sink;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) net.SetSink(n, &sink);
+  Packet p;
+  p.src = 0;
+  p.dst = 15;
+  p.type = PacketType::kReadRequest;
+  p.num_flits = 3;
+  EXPECT_TRUE(net.Inject(p));
+  for (int c = 0; c < 2000; ++c) {
+    net.Tick();
+    if (net.Deadlocked()) return net.now();
+  }
+  return 0;  // never fired
+}
+
+TEST(SchedulingWatchdogTest, FiresUnderActiveSetAtTheSameCycle) {
+  const Cycle full = DeadlockCycle(SchedulingMode::kFull);
+  const Cycle active = DeadlockCycle(SchedulingMode::kActiveSet);
+  ASSERT_GT(full, 0u) << "watchdog never fired in full mode";
+  EXPECT_EQ(full, active);
+}
+
+// --- scheduler-coverage invariant ------------------------------------------
+
+// Knocking every component off the dirty lists while flits are in flight
+// is a scheduler bug by construction; the auditor's coverage sweep must
+// report it.
+TEST(SchedulingCoverageTest, ForceSleepTripsCoverageInvariant) {
+  NetworkConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  cfg.scheduling = SchedulingMode::kActiveSet;
+  cfg.audit = true;
+  cfg.audit_interval = 1;
+  Network net(cfg);
+  struct Sink : PacketSink {
+    bool Accept(const Packet&, Cycle) override { return true; }
+  } sink;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) net.SetSink(n, &sink);
+  Packet p;
+  p.src = 0;
+  p.dst = 15;
+  p.type = PacketType::kReadRequest;
+  p.num_flits = 4;
+  ASSERT_TRUE(net.Inject(p));
+  for (int c = 0; c < 4; ++c) net.Tick();
+  ASSERT_GT(net.FlitsInFlight(), 0u);
+  net.ForceSleepAll();
+  for (int c = 0; c < 4; ++c) net.Tick();
+  const AuditReport r = net.AuditResults();
+  EXPECT_GT(
+      r.by_invariant[static_cast<std::size_t>(
+          AuditInvariant::kSchedulerCoverage)],
+      0u);
+  EXPECT_FALSE(r.clean());
+  EXPECT_STREQ(AuditInvariantName(AuditInvariant::kSchedulerCoverage),
+               "scheduler-coverage");
+}
+
+// A clean run must never trip the coverage invariant: every wake hook is
+// in place, so the sweep finds nothing unlisted.
+TEST(SchedulingCoverageTest, CleanRunHasFullCoverage) {
+  NetworkConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  cfg.scheduling = SchedulingMode::kActiveSet;
+  cfg.audit = true;
+  cfg.audit_interval = 1;
+  Network net(cfg);
+  OpenLoopConfig tcfg;
+  tcfg.pattern = TrafficPattern::kUniformRandom;
+  tcfg.injection_rate = 0.2;
+  tcfg.packet_size = 3;
+  OpenLoopTraffic traffic(net, tcfg);
+  for (int c = 0; c < 1000; ++c) {
+    traffic.Tick();
+    net.Tick();
+  }
+  ASSERT_TRUE(net.Drain(10000));
+  const AuditReport r = net.AuditResults();
+  EXPECT_TRUE(r.clean())
+      << (r.samples.empty() ? std::string() : r.samples[0].detail);
+}
+
+// --- route LUT -------------------------------------------------------------
+
+// The per-router LUT built at construction must agree with the analytic
+// routing function for every (destination, class) on every router.
+TEST(SchedulingRouteLutTest, LutMatchesComputeOutputPort) {
+  const RoutingAlgorithm routings[] = {
+      RoutingAlgorithm::kXY, RoutingAlgorithm::kYX, RoutingAlgorithm::kXYYX};
+  for (RoutingAlgorithm routing : routings) {
+    NetworkConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.routing = routing;
+    Network net(cfg);
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      const Router& router = net.router(n);
+      for (int y = 0; y < cfg.height; ++y) {
+        for (int x = 0; x < cfg.width; ++x) {
+          const Coord dst{x, y};
+          for (TrafficClass cls :
+               {TrafficClass::kRequest, TrafficClass::kReply}) {
+            EXPECT_EQ(router.RouteFor(cls, dst),
+                      ComputeOutputPort(routing, cls, router.coord(), dst))
+                << RoutingName(routing) << " node=" << n << " dst=(" << x
+                << ',' << y << ')';
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gnoc
