@@ -38,7 +38,12 @@ SweepResult Sweep(const std::vector<SchemeSpec>& schemes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "ablation_design_choices",
+      "Ablation: one-at-a-time design choices on a single workload",
+      [](FlagSet& flags) {
+        flags.AddString("workload", "KMN", "the workload to ablate on");
+      });
   const WorkloadProfile& workload =
       FindWorkload(opts.raw.GetString("workload", "KMN"));
   std::cout << SectionHeader("Ablation — design choices (workload: " +

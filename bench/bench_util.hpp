@@ -35,6 +35,9 @@
 #include <utility>
 #include <vector>
 
+#include <functional>
+
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/json.hpp"
 #include "common/stats.hpp"
@@ -56,6 +59,9 @@ struct BenchOptions {
   std::string telemetry_path;    ///< prefix for .csv/.trace.json exports
   /// NoC scheduling override for every cell (unset = scheme default).
   std::optional<SchedulingMode> scheduling;
+  std::string checkpoint_dir;      ///< empty = crash-resume off
+  Cycle checkpoint_interval = 0;   ///< cycles between mid-cell snapshots
+  bool resume = false;             ///< resume from checkpoint_dir
   Config raw;
 };
 
@@ -99,9 +105,68 @@ inline std::vector<WorkloadProfile> ParseWorkloadList(const std::string& list) {
   }
 }
 
-inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+/// A validator for flags that must be >= 0.
+inline FlagSet::IntCheck NonNegative() {
+  return [](std::int64_t v) {
+    return v < 0 ? std::string("must be >= 0") : std::string();
+  };
+}
+
+/// Registers the flags every sweep harness shares (EXPERIMENTS.md lists
+/// them once; drivers add their own flags on top).
+inline void RegisterSweepFlags(FlagSet& flags) {
+  flags.AddDouble("scale", 1.0, "scales warmup/measure cycles",
+                  [](double v) {
+                    return v <= 0.0 ? std::string("must be > 0")
+                                    : std::string();
+                  });
+  flags.AddString("workloads", "",
+                  "comma-separated benchmark subset (empty = all 25)");
+  flags.AddBool("csv", false, "emit CSV instead of aligned tables");
+  flags.AddInt("threads", 0, "parallel sweep workers (0 = one per core)",
+               NonNegative());
+  flags.AddString("json", "", "also write results as JSON to this path");
+  flags.AddBool("audit", false, "run cells with the NoC invariant auditor");
+  flags.AddBool("telemetry", false,
+                "run cells with the NoC telemetry sampler");
+  flags.AddInt("telemetry_interval", 0,
+               "cycles between telemetry samples (0 = config default)",
+               NonNegative());
+  flags.AddString("telemetry_out", "",
+                  "prefix for telemetry .csv/.trace.json exports");
+  flags.AddEnum("scheduling", "full", "NoC component scheduling",
+                {"full", "active-set"});
+  flags.AddString("checkpoint_dir", "",
+                  "directory for crash-resumable sweep state (empty = off)");
+  flags.AddInt("checkpoint_interval", 0,
+               "cycles between mid-cell snapshots (0 = per-cell only)",
+               NonNegative());
+  flags.AddBool("resume", false,
+                "resume a checkpointed sweep from checkpoint_dir");
+}
+
+/// Builds the harness FlagSet (shared sweep flags + optional driver
+/// extras) and parses argv through it. help= prints the generated help and
+/// exits 0; an unknown flag or malformed value prints the error and exits
+/// 2 — a mistyped flag never silently runs the full sweep.
+inline BenchOptions ParseBenchOptions(
+    int argc, char** argv, const std::string& program,
+    const std::string& summary,
+    const std::function<void(FlagSet&)>& extra = nullptr) {
+  FlagSet flags(program, summary);
+  RegisterSweepFlags(flags);
+  if (extra) extra(flags);
   BenchOptions opts;
-  opts.raw = Config::FromArgs(argc, argv);
+  try {
+    opts.raw = flags.Parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << program << ": " << e.what() << '\n';
+    std::exit(2);
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Help();
+    std::exit(0);
+  }
   const double scale = opts.raw.GetDouble("scale", 1.0);
   opts.lengths = RunLengths{}.Scaled(scale);
   opts.csv = opts.raw.GetBool("csv", false);
@@ -117,6 +182,10 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   if (opts.raw.Contains("scheduling")) {
     opts.scheduling = ParseSchedulingMode(opts.raw.GetString("scheduling"));
   }
+  opts.checkpoint_dir = opts.raw.GetString("checkpoint_dir", "");
+  opts.checkpoint_interval =
+      static_cast<Cycle>(opts.raw.GetInt("checkpoint_interval", 0));
+  opts.resume = opts.raw.GetBool("resume", false);
   opts.workloads = ParseWorkloadList(opts.raw.GetString("workloads", ""));
   return opts;
 }
@@ -149,6 +218,9 @@ inline SweepOptions SweepOpts(const BenchOptions& opts) {
   out.telemetry = opts.telemetry;
   out.telemetry_interval = opts.telemetry_interval;
   out.scheduling = opts.scheduling;
+  out.checkpoint_dir = opts.checkpoint_dir;
+  out.checkpoint_interval = opts.checkpoint_interval;
+  out.resume = opts.resume;
   return out;
 }
 

@@ -15,6 +15,12 @@ scheduling and once with active-set scheduling — and enforces three gates:
      than --max-regress (default 25%) vs the baseline's recorded ratio.
      Using the *ratio* normalizes away the CI runner's absolute speed; the
      full-mode run is the on-machine control.
+  4. Checkpoint-off cost: a checkpoint-enabled run (checkpoint_dir= to a
+     scratch directory) is the on-machine control for the default
+     checkpoint-off run. The two must produce exactly equal JSON, and the
+     checkpoint-off wall clock must be within --ckpt-tolerance (default 5%)
+     of the checkpoint-enabled one — the off path may never pay checkpoint
+     costs (it is the pre-checkpoint RunCell code path, null-hook pattern).
 
 Regenerate the baseline after an intentional behavior change with:
 
@@ -27,6 +33,7 @@ import argparse
 import json
 import math
 import os
+import shutil
 import subprocess
 import sys
 import time
@@ -39,7 +46,7 @@ DEFAULT_PROTOCOL = {
 FLOAT_REL_TOL = 1e-6
 
 
-def run_mode(build_dir, protocol, mode, json_path):
+def run_mode(build_dir, protocol, mode, json_path, extra_args=()):
     """Runs the harness in `mode` `repeats` times; returns (doc, best wall).
 
     The minimum wall time over the repeats is the least-noise estimator on a
@@ -49,7 +56,7 @@ def run_mode(build_dir, protocol, mode, json_path):
     if not os.access(harness, os.X_OK):
         sys.exit(f"check_regression: harness not found/executable: {harness}")
     cmd = [harness] + protocol["args"] + [
-        f"json={json_path}", f"scheduling={mode}"]
+        f"json={json_path}", f"scheduling={mode}"] + list(extra_args)
     best = math.inf
     for _ in range(protocol["repeats"]):
         start = time.monotonic()
@@ -102,6 +109,9 @@ def main():
                     help="where the per-mode sweep JSON artifacts land")
     ap.add_argument("--max-regress", type=float, default=0.25,
                     help="allowed wall-clock ratio regression (0.25 = 25%%)")
+    ap.add_argument("--ckpt-tolerance", type=float, default=0.05,
+                    help="allowed checkpoint-off vs checkpoint-on wall-clock "
+                         "excess (0.05 = 5%%)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from this machine's runs")
     args = ap.parse_args()
@@ -136,6 +146,37 @@ def main():
         return 1
     print("check_regression: bit-identity ok "
           "(active-set == full, exact)")
+
+    # Gate 4: checkpoint-off hot-path cost. The checkpoint-enabled run
+    # (same machine, same protocol, strictly more work) is the control; the
+    # default checkpoint-off run must produce exactly equal results and may
+    # not be meaningfully slower than it — if it were, the off path would
+    # be paying checkpoint costs it is designed (null-hook pattern) not to.
+    ckpt_json = os.path.join(args.out_dir, "sweep_ckpt.json")
+    ckpt_dir = os.path.join(args.out_dir, "sweep_ckpt_dir")
+    shutil.rmtree(ckpt_dir, ignore_errors=True)
+    ckpt_doc, ckpt_wall = run_mode(
+        args.build_dir, protocol, "full", ckpt_json,
+        extra_args=[f"checkpoint_dir={ckpt_dir}"])
+    shutil.rmtree(ckpt_dir, ignore_errors=True)
+    diffs = diff_json(full_doc, ckpt_doc, exact_floats=True)
+    if diffs:
+        print("check_regression: FAIL — checkpointed sweep diverged from "
+              "plain run:", file=sys.stderr)
+        for d in diffs[:20]:
+            print("  " + d, file=sys.stderr)
+        return 1
+    allowed_wall = ckpt_wall * (1.0 + args.ckpt_tolerance)
+    if full_wall > allowed_wall:
+        print(f"check_regression: FAIL — checkpoint-off wall "
+              f"{full_wall:.3f}s exceeds checkpoint-on control "
+              f"{ckpt_wall:.3f}s +{args.ckpt_tolerance:.0%} "
+              f"({allowed_wall:.3f}s): the checkpoint-off path is paying "
+              f"checkpoint costs", file=sys.stderr)
+        return 1
+    print(f"check_regression: checkpoint ok (results identical, off wall "
+          f"{full_wall:.3f}s <= on {ckpt_wall:.3f}s "
+          f"+{args.ckpt_tolerance:.0%})")
 
     if args.update:
         doc = {

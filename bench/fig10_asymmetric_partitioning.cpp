@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   using namespace gnoc;
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "fig10_asymmetric_partitioning",
+      "Fig. 10: asymmetric request:reply VC partitioning");
   std::cout << SectionHeader(
       "Fig. 10 — Asymmetric VC partitioning (4 VCs, request:reply = 1:3 vs "
       "2:2, XY-YX routing)");

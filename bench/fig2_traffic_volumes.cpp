@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   using namespace gnoc;
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "fig2_traffic_volumes",
+      "Fig. 2: normalized request/reply traffic volumes per benchmark");
   std::cout << SectionHeader(
       "Fig. 2 — Normalized traffic volumes between cores and MCs "
       "(baseline: bottom MCs, XY routing, 2 split VCs)");

@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   using namespace gnoc;
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "fig3_packet_distribution",
+      "Fig. 3: packet-type distribution of the baseline");
   std::cout << SectionHeader(
       "Fig. 3 — Packet type distribution (percent of all packets)");
 

@@ -45,7 +45,9 @@ void PrintMaps(const TilePlan& plan, RoutingAlgorithm routing) {
 int main(int argc, char** argv) {
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "fig4_link_utilization",
+      "Figs. 4 & 6: analytic link-utilization coefficient maps");
   std::cout << SectionHeader(
       "Figs. 4 & 6 — Link utilization coefficient maps (Eq. 2, N=4)");
 

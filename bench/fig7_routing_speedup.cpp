@@ -10,7 +10,9 @@ int main(int argc, char** argv) {
   using namespace gnoc;
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "fig7_routing_speedup",
+      "Fig. 7: speed-up of YX and XY-YX routing over XY");
   std::cout << SectionHeader(
       "Fig. 7 — Speed-up with routing algorithms (normalized to XY baseline)");
 

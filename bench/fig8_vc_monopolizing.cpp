@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   using namespace gnoc;
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "fig8_vc_monopolizing",
+      "Fig. 8: speed-up with VC monopolizing schemes");
   std::cout << SectionHeader(
       "Fig. 8 — Speed-up with VC monopolizing (normalized to XY + split VCs)");
 

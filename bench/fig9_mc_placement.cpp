@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   using namespace gnoc;
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "fig9_mc_placement",
+      "Fig. 9: MC placement x routing speed-ups");
   std::cout << SectionHeader(
       "Fig. 9 — Speed-up with MC placements x routing (normalized to "
       "bottom + XY)");

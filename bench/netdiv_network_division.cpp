@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   using namespace gnoc;
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "netdiv_network_division",
+      "Sec. 4.2: virtual vs physical network division");
   std::cout << SectionHeader(
       "Sec. 4.2 — Impact of network division (virtual vs physical)");
 

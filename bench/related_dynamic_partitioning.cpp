@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
   using namespace gnoc;
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "related_dynamic_partitioning",
+      "Related work: static vs dynamic (feedback) VC partitioning");
   std::cout << SectionHeader(
       "Related work — static vs dynamic (feedback) VC partitioning "
       "(4 VCs, XY-YX)");

@@ -4,9 +4,10 @@
 # that the emitted JSON parses, then re-runs it with the NoC invariant
 # auditor enabled and fails on any reported violation, then exercises the
 # telemetry exporters (CSV + Chrome trace, strictly validated with
-# python3 -m json.tool) and — when a UBSan tree is available (see
-# GNOC_SANITIZE=undefined in CMakeLists.txt) — one UBSan-instrumented
-# config.
+# python3 -m json.tool), then SIGKILLs a checkpointed sweep mid-flight and
+# requires the resumed run to be byte-identical to an uninterrupted one,
+# and — when a UBSan tree is available (see GNOC_SANITIZE=undefined in
+# CMakeLists.txt) — runs one UBSan-instrumented config.
 #
 # Usage: bench/smoke.sh [build-dir] [extra harness args...]
 #   bench/smoke.sh                       # default build/ directory
@@ -142,7 +143,48 @@ if ! diff -q "$SCHED_FULL" "$SCHED_ACTIVE" > /dev/null; then
 fi
 echo "smoke: scheduling ok — active-set output bit-identical to full" >&2
 
-# Fifth pass: one UBSan config, when an undefined-sanitizer tree exists
+# Fifth pass: kill-and-resume. Run the fig8 sweep with checkpointing, kill
+# it mid-flight (SIGKILL — no chance to clean up), resume it, and require
+# the resumed JSON to be byte-for-byte identical to an uninterrupted run.
+CKPT_DIR=${GNOC_SMOKE_CKPT_DIR:-/tmp/smoke_ckpt}
+CKPT_OUT=${GNOC_SMOKE_CKPT_JSON:-/tmp/smoke_ckpt.json}
+STRAIGHT_OUT=${GNOC_SMOKE_STRAIGHT_JSON:-/tmp/smoke_straight.json}
+rm -rf "$CKPT_DIR" "$CKPT_OUT" "$STRAIGHT_OUT"
+echo "smoke: $HARNESS scale=0.1 checkpoint_dir=$CKPT_DIR (will SIGKILL)" >&2
+"$HARNESS" scale=0.1 threads=2 checkpoint_dir="$CKPT_DIR" \
+    checkpoint_interval=200 json="$CKPT_OUT" "$@" > /dev/null 2>&1 &
+VICTIM=$!
+# Wait until the sweep is demonstrably mid-flight (some cells committed),
+# then kill it without warning. If it finishes first, resume still has to
+# reproduce the result — the diff below covers both races.
+for _ in $(seq 1 200); do
+  # The pretty-printed manifest lists completed cell indices one per line.
+  if grep -qE '^ +[0-9]+,?$' "$CKPT_DIR/manifest.json" 2> /dev/null; then
+    break
+  fi
+  if ! kill -0 "$VICTIM" 2> /dev/null; then break; fi
+  sleep 0.1
+done
+kill -9 "$VICTIM" 2> /dev/null || true
+wait "$VICTIM" 2> /dev/null || true
+if [[ ! -f "$CKPT_DIR/manifest.json" ]]; then
+  echo "smoke: FAIL — no checkpoint manifest written before kill" >&2
+  exit 1
+fi
+echo "smoke: resuming killed sweep from $CKPT_DIR" >&2
+"$HARNESS" scale=0.1 threads=2 checkpoint_dir="$CKPT_DIR" \
+    checkpoint_interval=200 resume=true json="$CKPT_OUT" "$@" > /dev/null
+echo "smoke: uninterrupted reference run" >&2
+"$HARNESS" scale=0.1 threads=2 json="$STRAIGHT_OUT" "$@" > /dev/null
+if ! cmp -s "$CKPT_OUT" "$STRAIGHT_OUT"; then
+  echo "smoke: FAIL — resumed sweep JSON differs from uninterrupted run:" >&2
+  diff "$CKPT_OUT" "$STRAIGHT_OUT" | head -20 >&2
+  exit 1
+fi
+rm -rf "$CKPT_DIR"
+echo "smoke: checkpoint ok — killed+resumed sweep byte-identical" >&2
+
+# Sixth pass: one UBSan config, when an undefined-sanitizer tree exists
 # (any UB aborts the harness because the tree builds with
 # -fno-sanitize-recover=undefined).
 UBSAN_DIR=${GNOC_SMOKE_UBSAN_DIR:-build-ubsan}

@@ -10,7 +10,14 @@ int main(int argc, char** argv) {
   using namespace gnoc;
   using namespace gnoc::bench;
 
-  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  const BenchOptions opts = ParseBenchOptions(
+      argc, argv, "table1_hop_counts",
+      "Table 1: analytic average hop counts per MC placement",
+      [](FlagSet& flags) {
+        flags.AddInt("n", 8, "mesh side length", [](std::int64_t v) {
+          return v < 1 ? std::string("must be >= 1") : std::string();
+        });
+      });
   const int n = static_cast<int>(opts.raw.GetInt("n", 8));
 
   std::cout << SectionHeader(

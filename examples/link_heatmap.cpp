@@ -14,10 +14,13 @@
 //
 //   window=-1  (default) aggregate over the full run, warm-up included
 //   window=K   just sampling window K (listed as "windows: N x W cycles")
+//
+// Run with help= for the full generated flag list.
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "sim/gpu_system.hpp"
 
@@ -66,7 +69,27 @@ std::string RenderHeat(const GpuSystem& gpu, const TelemetryReport& report,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config args = Config::FromArgs(argc, argv);
+  FlagSet flags("link_heatmap",
+                "Measured per-link utilization heatmaps from the telemetry "
+                "sampler (empirical Fig. 4/6)");
+  flags.AddString("workload", "KMN", "the workload profile to run");
+  flags.AddInt("measure", 8000, "measured cycles");
+  flags.AddInt("window", -1,
+               "telemetry window to render (-1 = whole-run aggregate)");
+  RegisterGpuConfigFlags(flags);
+
+  Config args;
+  try {
+    args = flags.Parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << "link_heatmap: " << e.what() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Help();
+    return 0;
+  }
+
   GpuConfig cfg = GpuConfig::Baseline();
   cfg.ApplyOverrides(args);
   cfg.telemetry = true;  // the heatmap is read from the telemetry windows

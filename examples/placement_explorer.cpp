@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "analytic/hop_count.hpp"
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "noc/deadlock.hpp"
@@ -18,7 +19,40 @@
 int main(int argc, char** argv) {
   using namespace gnoc;
 
-  const Config args = Config::FromArgs(argc, argv);
+  FlagSet flags("placement_explorer",
+                "MC placements: analytic hop counts, deadlock safety and "
+                "measured IPC side by side");
+  flags.AddString("workload", "SRAD", "the workload profile to run");
+  flags.AddString("routing", "xy", "routing algorithm (xy|yx|xy-yx)",
+                  [](const std::string& v) -> std::string {
+                    try {
+                      ParseRouting(v);
+                      return "";
+                    } catch (const std::exception& e) {
+                      return e.what();
+                    }
+                  });
+  flags.AddDouble("scale", 1.0, "warmup/measure scaling factor",
+                  [](double v) {
+                    return v <= 0 ? std::string("must be > 0") : std::string();
+                  });
+  flags.AddInt("threads", 0, "sweep worker threads (0 = one per core)",
+               [](std::int64_t v) {
+                 return v < 0 ? std::string("must be >= 0") : std::string();
+               });
+
+  Config args;
+  try {
+    args = flags.Parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << "placement_explorer: " << e.what() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Help();
+    return 0;
+  }
+
   const std::string name = args.GetString("workload", "SRAD");
   const RoutingAlgorithm routing =
       ParseRouting(args.GetString("routing", "xy"));

@@ -5,8 +5,11 @@
 //   quickstart [workload=BFS] [routing=xy|yx|xy-yx] [vc_policy=split|mono|
 //              partial|asym] [placement=bottom|edge|top-bottom|diamond]
 //              [num_vcs=2] [warmup=3000] [measure=12000]
+//
+// Run with help= for the full generated flag list.
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
@@ -14,7 +17,26 @@
 int main(int argc, char** argv) {
   using namespace gnoc;
 
-  const Config args = Config::FromArgs(argc, argv);
+  FlagSet flags("quickstart",
+                "Run the paper's baseline GPGPU on one workload and print "
+                "system and network statistics");
+  flags.AddString("workload", "BFS", "the workload profile to run");
+  flags.AddInt("warmup", 3000, "warm-up cycles (not measured)");
+  flags.AddInt("measure", 12000, "measured cycles");
+  RegisterGpuConfigFlags(flags);
+
+  Config args;
+  try {
+    args = flags.Parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << "quickstart: " << e.what() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Help();
+    return 0;
+  }
+
   const std::string workload_name = args.GetString("workload", "BFS");
   const Cycle warmup = static_cast<Cycle>(args.GetInt("warmup", 3000));
   const Cycle measure = static_cast<Cycle>(args.GetInt("measure", 12000));

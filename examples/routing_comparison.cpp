@@ -9,6 +9,7 @@
 // Usage: routing_comparison [workload=KMN] [scale=1.0] [threads=4]
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
@@ -16,7 +17,31 @@
 int main(int argc, char** argv) {
   using namespace gnoc;
 
-  const Config args = Config::FromArgs(argc, argv);
+  FlagSet flags("routing_comparison",
+                "Walk the Sec. 4.2 design space from the XY/split baseline "
+                "to YX + fully monopolized VCs");
+  flags.AddString("workload", "KMN", "the workload profile to run");
+  flags.AddDouble("scale", 1.0, "warmup/measure scaling factor",
+                  [](double v) {
+                    return v <= 0 ? std::string("must be > 0") : std::string();
+                  });
+  flags.AddInt("threads", 0, "sweep worker threads (0 = one per core)",
+               [](std::int64_t v) {
+                 return v < 0 ? std::string("must be >= 0") : std::string();
+               });
+
+  Config args;
+  try {
+    args = flags.Parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << "routing_comparison: " << e.what() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Help();
+    return 0;
+  }
+
   const std::string name = args.GetString("workload", "KMN");
   const RunLengths lengths =
       RunLengths{}.Scaled(args.GetDouble("scale", 1.0));

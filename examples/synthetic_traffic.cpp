@@ -11,6 +11,7 @@
 // warmup/measure methodology, instead of measuring the cold start.
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "noc/telemetry.hpp"
@@ -19,7 +20,56 @@
 using namespace gnoc;
 
 int main(int argc, char** argv) {
-  const Config args = Config::FromArgs(argc, argv);
+  FlagSet flags("synthetic_traffic",
+                "NoC-only latency/throughput curves under synthetic traffic, "
+                "plus the request/reply echo workload");
+  flags.AddString("pattern", "uniform",
+                  "traffic pattern (uniform|transpose|bitrev|hotspot)",
+                  [](const std::string& v) -> std::string {
+                    try {
+                      ParseTrafficPattern(v);
+                      return "";
+                    } catch (const std::exception& e) {
+                      return e.what();
+                    }
+                  });
+  flags.AddString("routing", "xy", "routing algorithm (xy|yx|xy-yx)",
+                  [](const std::string& v) -> std::string {
+                    try {
+                      ParseRouting(v);
+                      return "";
+                    } catch (const std::exception& e) {
+                      return e.what();
+                    }
+                  });
+  flags.AddInt("cycles", 5000, "measured cycles per load point",
+               [](std::int64_t v) {
+                 return v < 1 ? std::string("must be >= 1") : std::string();
+               });
+  flags.AddString("warmup", "0",
+                  "warm-up cycles, or 'auto' for the steady-state detector",
+                  [](const std::string& v) -> std::string {
+                    if (v == "auto") return "";
+                    try {
+                      if (std::stoll(v) < 0) return "must be >= 0 or 'auto'";
+                      return "";
+                    } catch (const std::exception&) {
+                      return "must be a cycle count or 'auto'";
+                    }
+                  });
+
+  Config args;
+  try {
+    args = flags.Parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << "synthetic_traffic: " << e.what() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Help();
+    return 0;
+  }
+
   const TrafficPattern pattern =
       ParseTrafficPattern(args.GetString("pattern", "uniform"));
   const RoutingAlgorithm routing =

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "noc/deadlock.hpp"
@@ -65,7 +66,31 @@ std::pair<Cycle, double> ReplayOn(const std::vector<TraceRecord>& records,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config args = Config::FromArgs(argc, argv);
+  FlagSet flags("trace_replay",
+                "Record a full-system packet trace, then replay it against "
+                "NoC variants without the cores");
+  flags.AddString("workload", "SRAD", "the workload profile to record");
+  flags.AddInt("measure", 6000, "recorded cycles",
+               [](std::int64_t v) {
+                 return v < 1 ? std::string("must be >= 1") : std::string();
+               });
+  flags.AddString("trace_file", "", "write the recorded trace to this file");
+  flags.AddString("trace_out", "",
+                  "replay the baseline with telemetry and write "
+                  "<prefix>.trace.json (Chrome trace)");
+
+  Config args;
+  try {
+    args = flags.Parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << "trace_replay: " << e.what() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Help();
+    return 0;
+  }
+
   const std::string workload = args.GetString("workload", "SRAD");
   const Cycle measure = static_cast<Cycle>(args.GetInt("measure", 6000));
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -20,8 +21,8 @@ std::string Trim(const std::string& s) {
 void ParseToken(Config& cfg, const std::string& token) {
   const auto eq = token.find('=');
   if (eq == std::string::npos) {
-    cfg.Set(Trim(token), "true");
-    return;
+    throw std::invalid_argument("malformed config token '" + token +
+                                "' (expected key=value)");
   }
   const std::string key = Trim(token.substr(0, eq));
   const std::string value = Trim(token.substr(eq + 1));
@@ -37,6 +38,20 @@ Config Config::FromArgs(int argc, const char* const* argv, int first) {
   Config cfg;
   for (int i = first; i < argc; ++i) ParseToken(cfg, argv[i]);
   return cfg;
+}
+
+Config Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read config file: '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return FromString(text.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("config file '" + path + "': " + e.what());
+  }
 }
 
 Config Config::FromString(const std::string& text) {

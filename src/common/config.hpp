@@ -18,14 +18,19 @@ class Config {
  public:
   Config() = default;
 
-  /// Parses a list of "key=value" tokens (e.g. argv tail). Tokens without
-  /// '=' are treated as boolean flags set to "true". Returns the number of
-  /// tokens consumed.
+  /// Parses a list of "key=value" tokens (e.g. argv tail). Throws
+  /// std::invalid_argument on malformed tokens (no '=' or an empty key) —
+  /// a mistyped flag must fail loudly, not silently become a bool.
   static Config FromArgs(int argc, const char* const* argv, int first = 1);
 
   /// Parses newline/space separated "key=value" pairs. Lines starting with
   /// '#' are comments. Throws std::invalid_argument on malformed input.
   static Config FromString(const std::string& text);
+
+  /// Reads and parses a config file (FromString format). Throws
+  /// std::runtime_error when unreadable, std::invalid_argument when
+  /// malformed.
+  static Config FromFile(const std::string& path);
 
   void Set(const std::string& key, const std::string& value);
   void SetInt(const std::string& key, std::int64_t value);
@@ -48,7 +53,10 @@ class Config {
   /// Keys in insertion order.
   const std::vector<std::string>& keys() const { return order_; }
 
-  /// Renders "key=value" lines in insertion order.
+  /// Renders "key=value" lines in insertion order. Because Merge keeps the
+  /// first-seen position of every key, a merged config round-trips with
+  /// its precedence visible: file-provided keys print where the file set
+  /// them, with later (command-line) values already substituted in place.
   std::string ToString() const;
 
  private:

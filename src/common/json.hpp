@@ -68,4 +68,49 @@ class JsonWriter {
   bool after_key_ = false;
 };
 
+/// A parsed JSON value — a minimal recursive-descent reader for the small
+/// machine-written documents this codebase produces itself (checkpoint
+/// manifests, bench result files). Numbers are doubles; object keys keep
+/// document order.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  /// Throws std::invalid_argument with an offset on malformed input.
+  static JsonValue Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw std::invalid_argument on a kind mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+
+  /// Object member lookup: Find returns nullptr when absent, At throws.
+  const JsonValue* Find(const std::string& key) const;
+  const JsonValue& At(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
 }  // namespace gnoc

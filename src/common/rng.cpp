@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/serialize.hpp"
+
 namespace gnoc {
 
 std::uint64_t SplitMix64(std::uint64_t& state) {
@@ -121,6 +123,19 @@ Rng Rng::Fork() {
   const std::uint64_t a = Next();
   const std::uint64_t b = Next();
   return Rng(a ^ Rotl(b, 32) ^ 0xD1B54A32D192ED03ull);
+}
+
+
+void Rng::Save(Serializer& s) const {
+  for (std::uint64_t word : s_) s.U64(word);
+  s.Bool(has_cached_gaussian_);
+  s.Double(cached_gaussian_);
+}
+
+void Rng::Load(Deserializer& d) {
+  for (std::uint64_t& word : s_) word = d.U64();
+  has_cached_gaussian_ = d.Bool();
+  cached_gaussian_ = d.Double();
 }
 
 }  // namespace gnoc

@@ -15,6 +15,9 @@
 
 namespace gnoc {
 
+class Serializer;
+class Deserializer;
+
 /// splitmix64 step; used for seeding and as a cheap stateless mixer.
 std::uint64_t SplitMix64(std::uint64_t& state);
 
@@ -56,6 +59,11 @@ class Rng {
   /// Forks an independent generator whose stream is decorrelated from this
   /// one. Useful to give each node its own RNG from a master seed.
   Rng Fork();
+
+  /// Snapshot support: the full generator state (stream position and the
+  /// cached Box-Muller half) round-trips exactly.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 
  private:
   std::array<std::uint64_t, 4> s_{};

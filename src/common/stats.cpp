@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace gnoc {
 
 void RunningStats::Add(double sample) {
@@ -153,6 +155,39 @@ std::string StatSet::ToString() const {
     oss << name << " = " << values_.at(name) << '\n';
   }
   return oss.str();
+}
+
+
+void RunningStats::Save(Serializer& s) const {
+  s.U64(count_);
+  s.Double(mean_);
+  s.Double(m2_);
+  s.Double(sum_);
+  s.Double(min_);
+  s.Double(max_);
+}
+
+void RunningStats::Load(Deserializer& d) {
+  count_ = d.U64();
+  mean_ = d.Double();
+  m2_ = d.Double();
+  sum_ = d.Double();
+  min_ = d.Double();
+  max_ = d.Double();
+}
+
+void Histogram::Save(Serializer& s) const {
+  s.Double(bucket_width_);
+  s.U64(counts_.size());
+  for (std::uint64_t c : counts_) s.U64(c);
+  stats_.Save(s);
+}
+
+void Histogram::Load(Deserializer& d) {
+  bucket_width_ = d.Double();
+  counts_.assign(d.U64(), 0);
+  for (std::uint64_t& c : counts_) c = d.U64();
+  stats_.Load(d);
 }
 
 }  // namespace gnoc

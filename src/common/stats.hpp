@@ -11,6 +11,9 @@
 
 namespace gnoc {
 
+class Serializer;
+class Deserializer;
+
 /// Accumulates samples and reports count / mean / min / max / variance.
 /// Stores only O(1) state (Welford's online algorithm), so it is safe to use
 /// for per-cycle statistics.
@@ -31,6 +34,9 @@ class RunningStats {
   /// Population variance. Zero when fewer than two samples.
   double variance() const;
   double stddev() const;
+
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 
  private:
   std::uint64_t count_ = 0;
@@ -72,6 +78,11 @@ class Histogram {
   /// inside each bucket. An empty histogram has no quantiles; it returns 0
   /// for every p (tested behaviour, not an accident).
   double Percentile(double p) const;
+
+  /// Snapshot support: geometry must already match (buckets are restored
+  /// in place, widths included).
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 
  private:
   double bucket_width_;

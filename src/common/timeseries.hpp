@@ -51,6 +51,11 @@ class TimeSeries {
   /// Sum over all windows (invariant under downsampling).
   double Total() const;
 
+  /// Snapshot support: persists the current width (it doubles on
+  /// downsampling), not the construction-time width.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
+
  private:
   /// Merges adjacent window pairs and doubles the width.
   void Downsample();
@@ -76,6 +81,9 @@ class HistogramSeries {
   bool empty() const { return windows_.empty(); }
   Cycle WindowStart(std::size_t i) const { return static_cast<Cycle>(i) * width_; }
   const Histogram& Window(std::size_t i) const { return windows_.at(i); }
+
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 
  private:
   void Downsample();

@@ -11,6 +11,9 @@
 
 namespace gnoc {
 
+class Serializer;
+class Deserializer;
+
 /// Geometry of a cache. All values must be powers of two.
 struct CacheConfig {
   std::uint32_t size_bytes = 64 * 1024;
@@ -66,6 +69,11 @@ class SetAssocCache {
   std::uint32_t num_sets() const { return num_sets_; }
   std::uint32_t ways() const { return config_.ways; }
   std::uint32_t line_bytes() const { return config_.line_bytes; }
+
+  /// Snapshot support (DESIGN.md §10): lines, LRU clock and stats.
+  /// Geometry is construction-derived; the loader must match it.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 
  private:
   struct Line {

@@ -14,6 +14,9 @@
 
 namespace gnoc {
 
+class Serializer;
+class Deserializer;
+
 struct DramConfig {
   int num_banks = 8;
   Cycle row_hit_latency = 60;    ///< access that hits the open row
@@ -57,6 +60,10 @@ class DramModel {
 
   const DramStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DramStats{}; }
+
+  /// Snapshot support (DESIGN.md §10): bank state and stats.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 
  private:
   struct Bank {

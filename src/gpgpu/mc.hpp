@@ -84,6 +84,13 @@ class MemoryController : public PacketSink {
     return queue_.size() + inflight_.size();
   }
 
+  /// Snapshot support (DESIGN.md §10): L2, DRAM, request queue, in-flight
+  /// completions (heap array verbatim — completions tie on ready_at, so
+  /// rebuilding the heap could reorder equal keys and break bit-identical
+  /// resume) and stats.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
+
  private:
   struct Completion {
     Cycle ready_at = 0;

@@ -87,6 +87,12 @@ class StreamingMultiprocessor : public PacketSink {
   /// Number of warps currently able to issue.
   int ReadyWarps() const;
 
+  /// Snapshot support (DESIGN.md §10): warps, RNG stream, L1 contents,
+  /// outstanding transactions and stats. The fabric pointer and MC node
+  /// list are reconstructed by the owning GpuSystem.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
+
  private:
   /// What the warp's next instruction is.
   enum class InsnKind : std::uint8_t { kAlu, kLoadHit, kLoadMiss, kStoreLocal,

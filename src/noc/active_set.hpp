@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hpp"
+
 namespace gnoc {
 
 class ActiveSet {
@@ -90,6 +92,16 @@ class ActiveSet {
         fn(w * 64 + static_cast<std::size_t>(b));
       }
     }
+  }
+
+  /// Snapshot support: membership bitmap, verbatim.
+  void Save(Serializer& s) const {
+    s.U64(size_);
+    for (const std::uint64_t w : words_) s.U64(w);
+  }
+  void Load(Deserializer& d) {
+    Resize(d.U64());
+    for (std::uint64_t& w : words_) w = d.U64();
   }
 
  private:

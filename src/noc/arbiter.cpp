@@ -5,6 +5,8 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace gnoc {
 
 const char* ArbiterKindName(ArbiterKind k) {
@@ -91,6 +93,22 @@ std::unique_ptr<Arbiter> MakeArbiter(ArbiterKind kind,
       return std::make_unique<MatrixArbiter>(num_inputs);
   }
   return std::make_unique<RoundRobinArbiter>(num_inputs);
+}
+
+void RoundRobinArbiter::Save(Serializer& s) const { s.U64(pointer_); }
+
+void RoundRobinArbiter::Load(Deserializer& d) { pointer_ = d.U64(); }
+
+void MatrixArbiter::Save(Serializer& s) const {
+  for (const auto& row : prec_) {
+    for (const bool bit : row) s.Bool(bit);
+  }
+}
+
+void MatrixArbiter::Load(Deserializer& d) {
+  for (auto& row : prec_) {
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] = d.Bool();
+  }
 }
 
 }  // namespace gnoc

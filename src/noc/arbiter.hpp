@@ -12,6 +12,9 @@
 
 namespace gnoc {
 
+class Serializer;
+class Deserializer;
+
 /// Which arbiter microarchitecture the router instantiates.
 enum class ArbiterKind : std::uint8_t {
   kRoundRobin = 0,  ///< rotating priority (the low-cost default)
@@ -36,6 +39,11 @@ class Arbiter {
   /// Updates internal priority state only when a grant is issued.
   virtual int Arbitrate(const std::vector<bool>& requests) = 0;
 
+  /// Snapshot support: priority state only (kind and width are
+  /// construction-derived; the loader must match them).
+  virtual void Save(Serializer& s) const = 0;
+  virtual void Load(Deserializer& d) = 0;
+
  protected:
   std::size_t num_inputs_;
 };
@@ -47,6 +55,9 @@ class RoundRobinArbiter final : public Arbiter {
   explicit RoundRobinArbiter(std::size_t num_inputs);
 
   int Arbitrate(const std::vector<bool>& requests) override;
+
+  void Save(Serializer& s) const override;
+  void Load(Deserializer& d) override;
 
   /// Exposed for tests: index with current highest priority.
   std::size_t pointer() const { return pointer_; }
@@ -62,6 +73,9 @@ class MatrixArbiter final : public Arbiter {
   explicit MatrixArbiter(std::size_t num_inputs);
 
   int Arbitrate(const std::vector<bool>& requests) override;
+
+  void Save(Serializer& s) const override;
+  void Load(Deserializer& d) override;
 
  private:
   /// prec_[i][j] == true means i has precedence over j.

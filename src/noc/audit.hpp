@@ -106,6 +106,10 @@ struct AuditReport {
 
   /// Serializes as one JSON object (enabled/clean/counters/samples).
   void WriteJson(JsonWriter& w) const;
+
+  /// Snapshot support (DESIGN.md §10).
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 };
 
 /// Tracks invariants for one Network. Owned by the Network; routers and
@@ -171,6 +175,12 @@ class Auditor {
   }
 
   const AuditReport& report() const { return report_; }
+
+  /// Snapshot support: wormhole stream state (per registered link, by
+  /// registration index — link registration order is deterministic), the
+  /// next snapshot cycle and the report. Link wiring is reconstructed.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 
  private:
   /// Incremental wormhole state of one VC on one side of a link.

@@ -52,6 +52,21 @@ class VcBuffer {
     for (const Flit& f : fifo_) fn(f);
   }
 
+  /// Snapshot support: contents only; capacity is construction-derived.
+  void Save(Serializer& s) const {
+    s.U64(fifo_.size());
+    for (const Flit& f : fifo_) gnoc::Save(s, f);
+  }
+  void Load(Deserializer& d) {
+    fifo_.clear();
+    const std::uint64_t n = d.U64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Flit f;
+      gnoc::Load(d, f);
+      fifo_.push_back(f);
+    }
+  }
+
  private:
   std::size_t capacity_;
   std::deque<Flit> fifo_;

@@ -50,6 +50,12 @@ class Fabric {
   /// noc/telemetry.hpp). Dual fabrics prefix entities "req:" / "rep:".
   virtual TelemetryReport CollectTelemetry() const = 0;
 
+  /// Snapshot support (DESIGN.md §10): serializes the full transport state
+  /// so a run can resume bit-identically. Load requires a fabric built from
+  /// the same configuration (wiring is construction-derived).
+  virtual void Save(Serializer& s) const = 0;
+  virtual void Load(Deserializer& d) = 0;
+
   /// Number of physical networks (1 or 2).
   virtual int num_networks() const = 0;
   /// The physical network carrying `cls` traffic.
@@ -78,6 +84,8 @@ class SingleNetworkFabric final : public Fabric {
   TelemetryReport CollectTelemetry() const override {
     return network_.TelemetryResults();
   }
+  void Save(Serializer& s) const override { network_.Save(s); }
+  void Load(Deserializer& d) override { network_.Load(d); }
   int num_networks() const override { return 1; }
   Network& net(TrafficClass) override { return network_; }
   const Network& net(TrafficClass) const override { return network_; }
@@ -118,6 +126,12 @@ class DualNetworkFabric final : public Fabric {
     merged.Merge(nets_[ClassIndex(TrafficClass::kReply)]->TelemetryResults(),
                  "rep:");
     return merged;
+  }
+  void Save(Serializer& s) const override {
+    for (const auto& net : nets_) net->Save(s);
+  }
+  void Load(Deserializer& d) override {
+    for (auto& net : nets_) net->Load(d);
   }
   int num_networks() const override { return 2; }
   Network& net(TrafficClass cls) override {

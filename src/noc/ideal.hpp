@@ -50,6 +50,12 @@ class IdealFabric final : public Fabric {
     return TelemetryReport{};
   }
 
+  /// Snapshot support (DESIGN.md §10): clock, in-flight heap (array saved
+  /// verbatim so equal-due arrivals keep their order), stalled queues,
+  /// summary and type counters. Sinks are rewired by the owner.
+  void Save(Serializer& s) const override;
+  void Load(Deserializer& d) override;
+
   /// The ideal fabric has no physical networks; these accessors are
   /// unsupported and throw std::logic_error.
   int num_networks() const override { return 0; }

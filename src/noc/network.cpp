@@ -5,6 +5,8 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 #include "noc/deadlock.hpp"
 
 namespace gnoc {
@@ -539,6 +541,82 @@ void Network::ResetStats() {
   // progress_events_ is cumulative (never reset); re-baseline against it.
   last_progress_counter_ = progress_events_;
   last_progress_cycle_ = now_;
+}
+
+void NetworkSummary::Save(Serializer& s) const {
+  for (const std::uint64_t n : packets_injected) s.U64(n);
+  for (const std::uint64_t n : packets_ejected) s.U64(n);
+  for (const std::uint64_t n : flits_injected) s.U64(n);
+  for (const std::uint64_t n : flits_ejected) s.U64(n);
+  for (const RunningStats& r : packet_latency) r.Save(s);
+  for (const RunningStats& r : network_latency) r.Save(s);
+  for (const Histogram& h : latency_histogram) h.Save(s);
+  s.U64(flits_forwarded);
+  s.U64(cycles);
+}
+
+void NetworkSummary::Load(Deserializer& d) {
+  for (std::uint64_t& n : packets_injected) n = d.U64();
+  for (std::uint64_t& n : packets_ejected) n = d.U64();
+  for (std::uint64_t& n : flits_injected) n = d.U64();
+  for (std::uint64_t& n : flits_ejected) n = d.U64();
+  for (RunningStats& r : packet_latency) r.Load(d);
+  for (RunningStats& r : network_latency) r.Load(d);
+  for (Histogram& h : latency_histogram) h.Load(d);
+  flits_forwarded = d.U64();
+  cycles = d.U64();
+}
+
+void Network::Save(Serializer& s) const {
+  s.U64(now_);
+  s.U64(next_packet_id_);
+  s.U64(tick_steps_);
+  s.U64(progress_events_);
+  s.U64(last_progress_counter_);
+  s.U64(last_progress_cycle_);
+  s.Bool(deadlocked_);
+  for (const auto& router : routers_) router->Save(s);
+  for (const auto& nic : nics_) nic->Save(s);
+  for (const auto& link : flit_links_) link->channel.Save(s);
+  for (const auto& link : credit_links_) link->channel.Save(s);
+  s.Bool(auditor_ != nullptr);
+  if (auditor_ != nullptr) auditor_->Save(s);
+  s.Bool(telemetry_ != nullptr);
+  if (telemetry_ != nullptr) telemetry_->Save(s);
+  active_routers_.Save(s);
+  active_nics_.Save(s);
+  active_flit_links_.Save(s);
+  active_credit_links_.Save(s);
+}
+
+void Network::Load(Deserializer& d) {
+  now_ = d.U64();
+  next_packet_id_ = d.U64();
+  tick_steps_ = d.U64();
+  progress_events_ = d.U64();
+  last_progress_counter_ = d.U64();
+  last_progress_cycle_ = d.U64();
+  deadlocked_ = d.Bool();
+  for (const auto& router : routers_) router->Load(d);
+  for (const auto& nic : nics_) nic->Load(d);
+  for (const auto& link : flit_links_) link->channel.Load(d);
+  for (const auto& link : credit_links_) link->channel.Load(d);
+  const bool had_auditor = d.Bool();
+  if (had_auditor != (auditor_ != nullptr)) {
+    throw SerializeError(
+        "snapshot audit mode differs from this network's configuration");
+  }
+  if (auditor_ != nullptr) auditor_->Load(d);
+  const bool had_telemetry = d.Bool();
+  if (had_telemetry != (telemetry_ != nullptr)) {
+    throw SerializeError(
+        "snapshot telemetry mode differs from this network's configuration");
+  }
+  if (telemetry_ != nullptr) telemetry_->Load(d);
+  active_routers_.Load(d);
+  active_nics_.Load(d);
+  active_flit_links_.Load(d);
+  active_credit_links_.Load(d);
 }
 
 }  // namespace gnoc

@@ -100,6 +100,10 @@ struct NetworkSummary {
   std::array<Histogram, kNumClasses> latency_histogram;
   std::uint64_t flits_forwarded = 0;
   std::uint64_t cycles = 0;
+
+  /// Snapshot support (DESIGN.md §10).
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 };
 
 class Network {
@@ -221,6 +225,17 @@ class Network {
   /// bug the scheduler-coverage audit invariant exists to catch (mutation
   /// tests only). No-op under kFull scheduling.
   void ForceSleepAll();
+
+  // --- snapshot/restore (DESIGN.md §10) ---
+
+  /// Serializes every piece of mutable state — clock, packet-id counter,
+  /// watchdog, routers, NICs, channel contents, auditor/telemetry state and
+  /// the active-set dirty lists — in a fixed order. Wiring and
+  /// configuration are construction-derived and not serialized: Load
+  /// requires a Network built from the identical NetworkConfig, and resumed
+  /// execution is bit-identical to never having snapshotted.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 
  private:
   struct FlitLink {

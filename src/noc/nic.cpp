@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+
+#include "common/serialize.hpp"
 
 #include "noc/audit.hpp"
 #include "noc/telemetry.hpp"
@@ -283,6 +286,124 @@ bool Nic::Idle() const {
     if (held != 0) return false;
   }
   return true;
+}
+
+namespace {
+
+void SaveNicStats(Serializer& s, const NicStats& st) {
+  for (const std::uint64_t n : st.packets_injected) s.U64(n);
+  for (const std::uint64_t n : st.flits_injected) s.U64(n);
+  for (const std::uint64_t n : st.packets_ejected) s.U64(n);
+  for (const std::uint64_t n : st.flits_ejected) s.U64(n);
+  for (const std::uint64_t n : st.packets_by_type) s.U64(n);
+  for (const RunningStats& r : st.packet_latency) r.Save(s);
+  for (const RunningStats& r : st.network_latency) r.Save(s);
+  s.U64(st.inject_stall_cycles);
+  s.U64(st.inject_drain_cycles);
+  for (const Histogram& h : st.latency_histogram) h.Save(s);
+}
+
+void LoadNicStats(Deserializer& d, NicStats& st) {
+  for (std::uint64_t& n : st.packets_injected) n = d.U64();
+  for (std::uint64_t& n : st.flits_injected) n = d.U64();
+  for (std::uint64_t& n : st.packets_ejected) n = d.U64();
+  for (std::uint64_t& n : st.flits_ejected) n = d.U64();
+  for (std::uint64_t& n : st.packets_by_type) n = d.U64();
+  for (RunningStats& r : st.packet_latency) r.Load(d);
+  for (RunningStats& r : st.network_latency) r.Load(d);
+  st.inject_stall_cycles = d.U64();
+  st.inject_drain_cycles = d.U64();
+  for (Histogram& h : st.latency_histogram) h.Load(d);
+}
+
+}  // namespace
+
+void Nic::Save(Serializer& s) const {
+  for (const auto& queue : inject_queues_) {
+    s.U64(queue.size());
+    for (const auto& [packet, dst] : queue) {
+      gnoc::Save(s, packet);
+      s.I32(dst.x);
+      s.I32(dst.y);
+    }
+  }
+  for (const ActiveSend& send : sends_) {
+    s.Bool(send.busy);
+    s.Bool(send.draining);
+    s.U64(send.remaining.size());
+    for (const Flit& f : send.remaining) gnoc::Save(s, f);
+  }
+  for (const int c : credits_) s.I32(c);
+  s.U64(send_rr_);
+  s.I32(start_rr_);
+  s.I32(boundary_);
+  for (const std::uint64_t n : epoch_flits_) s.U64(n);
+  s.Bool(epoch_dirty_);
+  s.U64(next_boundary_update_);
+  for (const auto& buffer : eject_buffers_) {
+    s.U64(buffer.size());
+    for (const Flit& f : buffer) gnoc::Save(s, f);
+  }
+  for (const int n : eject_held_) s.I32(n);
+  // Sorted by packet id so snapshot bytes are independent of the
+  // unordered_map's iteration order (behaviour is lookup-only).
+  const std::map<PacketId, int> sorted(assembled_.begin(), assembled_.end());
+  s.U64(sorted.size());
+  for (const auto& [id, flits] : sorted) {
+    s.U64(id);
+    s.I32(flits);
+  }
+  SaveNicStats(s, stats_);
+}
+
+void Nic::Load(Deserializer& d) {
+  for (auto& queue : inject_queues_) {
+    queue.clear();
+    const std::uint64_t n = d.U64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Packet packet;
+      gnoc::Load(d, packet);
+      Coord dst{};
+      dst.x = d.I32();
+      dst.y = d.I32();
+      queue.emplace_back(packet, dst);
+    }
+  }
+  for (ActiveSend& send : sends_) {
+    send.busy = d.Bool();
+    send.draining = d.Bool();
+    send.remaining.clear();
+    const std::uint64_t n = d.U64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Flit f;
+      gnoc::Load(d, f);
+      send.remaining.push_back(f);
+    }
+  }
+  for (int& c : credits_) c = d.I32();
+  send_rr_ = d.U64();
+  start_rr_ = d.I32();
+  boundary_ = d.I32();
+  for (std::uint64_t& n : epoch_flits_) n = d.U64();
+  epoch_dirty_ = d.Bool();
+  next_boundary_update_ = d.U64();
+  for (auto& buffer : eject_buffers_) {
+    buffer.clear();
+    const std::uint64_t n = d.U64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Flit f;
+      gnoc::Load(d, f);
+      buffer.push_back(f);
+    }
+  }
+  for (int& n : eject_held_) n = d.I32();
+  assembled_.clear();
+  const std::uint64_t n = d.U64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const PacketId id = d.U64();
+    assembled_[id] = d.I32();
+  }
+  LoadNicStats(d, stats_);
 }
 
 }  // namespace gnoc

@@ -189,6 +189,13 @@ class Nic {
            (config_.vc_policy == VcPolicyKind::kDynamic && epoch_dirty_);
   }
 
+  /// Snapshot support (DESIGN.md §10): queues, in-flight sends, credits,
+  /// round-robin pointers, dynamic-boundary state, ejection/reassembly
+  /// state and stats. Wiring pointers and `inject_flits_per_cycle_` are
+  /// reapplied by the owner at construction and not serialized.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
+
  private:
   /// One in-progress packet transmission bound to an injection VC.
   struct ActiveSend {

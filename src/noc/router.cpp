@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/serialize.hpp"
+
 #include "noc/audit.hpp"
 #include "noc/nic.hpp"
 
@@ -366,6 +368,72 @@ int Router::OutputCredits(Port out_port, VcId vc) const {
 
 bool Router::OutputVcAllocated(Port out_port, VcId vc) const {
   return Ovc(out_port, vc).allocated;
+}
+
+void Router::Save(Serializer& s) const {
+  for (const InputVc& ivc : input_vcs_) {
+    ivc.buffer.Save(s);
+    s.Bool(ivc.route_valid);
+    s.U8(static_cast<std::uint8_t>(ivc.out_port));
+    s.I32(ivc.out_vc);
+    s.Bool(ivc.eject);
+  }
+  for (const OutputVc& ovc : output_vcs_) {
+    s.Bool(ovc.allocated);
+    s.Bool(ovc.tail_sent);
+    s.I32(ovc.credits);
+  }
+  for (const VcId b : boundaries_) s.I32(b);
+  for (const auto& per_port : epoch_flits_) {
+    for (const std::uint64_t n : per_port) s.U64(n);
+  }
+  s.Bool(epoch_dirty_);
+  s.U64(next_boundary_update_);
+  for (const auto& arb : va_arb_) arb->Save(s);
+  for (const auto& arb : sa_input_arb_) arb->Save(s);
+  for (const auto& arb : sa_output_arb_) arb->Save(s);
+  for (const auto& per_port : stats_.flits_out) {
+    for (const std::uint64_t n : per_port) s.U64(n);
+  }
+  s.U64(stats_.busy_cycles);
+  s.U64(stats_.flits_forwarded);
+  s.U64(stats_.va_failures);
+  s.U64(stats_.sa_stalls);
+  for (const std::uint64_t n : stats_.credit_stall_by_vc) s.U64(n);
+  s.U64(stats_.buffered_flit_cycles);
+}
+
+void Router::Load(Deserializer& d) {
+  for (InputVc& ivc : input_vcs_) {
+    ivc.buffer.Load(d);
+    ivc.route_valid = d.Bool();
+    ivc.out_port = static_cast<Port>(d.U8());
+    ivc.out_vc = d.I32();
+    ivc.eject = d.Bool();
+  }
+  for (OutputVc& ovc : output_vcs_) {
+    ovc.allocated = d.Bool();
+    ovc.tail_sent = d.Bool();
+    ovc.credits = d.I32();
+  }
+  for (VcId& b : boundaries_) b = d.I32();
+  for (auto& per_port : epoch_flits_) {
+    for (std::uint64_t& n : per_port) n = d.U64();
+  }
+  epoch_dirty_ = d.Bool();
+  next_boundary_update_ = d.U64();
+  for (const auto& arb : va_arb_) arb->Load(d);
+  for (const auto& arb : sa_input_arb_) arb->Load(d);
+  for (const auto& arb : sa_output_arb_) arb->Load(d);
+  for (auto& per_port : stats_.flits_out) {
+    for (std::uint64_t& n : per_port) n = d.U64();
+  }
+  stats_.busy_cycles = d.U64();
+  stats_.flits_forwarded = d.U64();
+  stats_.va_failures = d.U64();
+  stats_.sa_stalls = d.U64();
+  for (std::uint64_t& n : stats_.credit_stall_by_vc) n = d.U64();
+  stats_.buffered_flit_cycles = d.U64();
 }
 
 }  // namespace gnoc

@@ -193,6 +193,14 @@ class Router {
   /// requests use [0, boundary), replies [boundary, num_vcs)).
   VcId DynamicBoundary(Port out_port) const;
 
+  /// Snapshot support (DESIGN.md §10): all mutable per-cycle state — input
+  /// and output VCs, dynamic-boundary state, arbiter priorities, stats.
+  /// Wiring (channels, NIC, auditor, hooks) and the route LUT are
+  /// construction-derived and not serialized; Load requires a Router built
+  /// from the identical config.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
+
  private:
   /// State of one input VC.
   struct InputVc {

@@ -109,6 +109,10 @@ struct TelemetryReport {
   /// counts, per-class delivered totals) — the full series go to the
   /// CSV/trace exporters, not into every sweep cell.
   void WriteJson(JsonWriter& w) const;
+
+  /// Snapshot support (DESIGN.md §10).
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 };
 
 /// Declares warm-up complete when K consecutive non-empty windows of mean
@@ -184,6 +188,12 @@ class Telemetry {
 
   /// Builds a value snapshot including the partial span [window_open, now).
   TelemetryReport Snapshot(Cycle now) const;
+
+  /// Snapshot support: series contents, counter baselines and sweep cursors
+  /// by registration index (track registration order is deterministic).
+  /// Wiring (router/NIC pointers, track topology) is reconstructed.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
 
  private:
   struct RouterState {

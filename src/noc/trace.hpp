@@ -48,6 +48,10 @@ class TraceWriter {
   /// Writes ToCsv() to `path`; throws std::runtime_error on I/O failure.
   void WriteFile(const std::string& path) const;
 
+  /// Snapshot support (DESIGN.md §10): the accumulated records.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
+
  private:
   std::vector<TraceRecord> records_;
 };
@@ -88,6 +92,9 @@ class RecordingFabric final : public Fabric {
   TelemetryReport CollectTelemetry() const override {
     return inner_->CollectTelemetry();
   }
+  /// Saves the wrapped fabric followed by the recorded trace.
+  void Save(Serializer& s) const override;
+  void Load(Deserializer& d) override;
   int num_networks() const override;
   Network& net(TrafficClass cls) override;
   const Network& net(TrafficClass cls) const override;

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/json.hpp"
+#include "common/serialize.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "noc/packet.hpp"
@@ -210,8 +213,10 @@ std::vector<SweepCell> EnumerateCells(std::size_t num_schemes,
 
 namespace {
 
-GpuRunStats RunCell(const SchemeSpec& scheme, const WorkloadProfile& workload,
-                    const SweepOptions& options) {
+/// The scheme's config with the sweep-wide overrides applied — what a cell
+/// actually runs with (and what its checkpoint fingerprint covers).
+GpuConfig EffectiveConfig(const SchemeSpec& scheme,
+                          const SweepOptions& options) {
   GpuConfig config = scheme.config;
   if (options.audit) config.audit = true;
   if (options.telemetry) {
@@ -223,11 +228,222 @@ GpuRunStats RunCell(const SchemeSpec& scheme, const WorkloadProfile& workload,
   if (options.scheduling.has_value()) {
     config.scheduling = *options.scheduling;
   }
-  GpuSystem gpu(config, workload);
+  return config;
+}
+
+GpuRunStats RunCell(const SchemeSpec& scheme, const WorkloadProfile& workload,
+                    const SweepOptions& options) {
+  GpuSystem gpu(EffectiveConfig(scheme, options), workload);
   return gpu.Run(options.lengths.warmup, options.lengths.measure);
 }
 
+/// Phase tags of a mid-cell snapshot.
+constexpr std::uint8_t kPhaseWarmup = 0;
+constexpr std::uint8_t kPhaseMeasure = 1;
+
+/// Checkpointed equivalent of GpuSystem::Run — the same tick/reset/
+/// deadlock-check sequence, with a snapshot written every
+/// `checkpoint_interval` ticks. Resuming from such a snapshot replays the
+/// remaining cycles on bit-identical state, so the returned stats match an
+/// uninterrupted run exactly.
+GpuRunStats RunCellCheckpointed(const SchemeSpec& scheme,
+                                const WorkloadProfile& workload,
+                                const SweepOptions& options,
+                                const std::string& snap_path,
+                                std::uint64_t cell_fingerprint) {
+  GpuSystem gpu(EffectiveConfig(scheme, options), workload);
+  std::uint8_t phase = kPhaseWarmup;
+  Cycle done_in_phase = 0;
+  if (options.resume && std::filesystem::exists(snap_path)) {
+    const std::string payload = ReadSnapshotFile(snap_path, cell_fingerprint);
+    Deserializer d(payload);
+    phase = d.U8();
+    done_in_phase = d.U64();
+    gpu.Load(d);
+    d.Finish();
+  }
+  Cycle since_snapshot = 0;
+  const auto maybe_snapshot = [&] {
+    if (options.checkpoint_interval == 0) return;
+    if (++since_snapshot < options.checkpoint_interval) return;
+    since_snapshot = 0;
+    Serializer s;
+    s.U8(phase);
+    s.U64(done_in_phase);
+    gpu.Save(s);
+    WriteSnapshotFile(snap_path, cell_fingerprint, s.bytes());
+  };
+  if (phase == kPhaseWarmup) {
+    while (done_in_phase < options.lengths.warmup) {
+      gpu.Tick();
+      ++done_in_phase;
+      maybe_snapshot();
+    }
+    gpu.ResetStats();
+    phase = kPhaseMeasure;
+    done_in_phase = 0;
+  }
+  while (done_in_phase < options.lengths.measure) {
+    gpu.Tick();
+    ++done_in_phase;
+    if (gpu.fabric().Deadlocked()) break;
+    maybe_snapshot();
+  }
+  return gpu.Measure();
+}
+
+/// Crash-resume state of one sweep: the manifest (which cells are done),
+/// per-cell result files and mid-cell snapshots, all under one directory
+/// and all stamped with the sweep fingerprint.
+class SweepCheckpoint {
+ public:
+  SweepCheckpoint(std::string dir, std::uint64_t fingerprint,
+                  std::size_t total, bool resume)
+      : dir_(std::move(dir)), fingerprint_(fingerprint), done_(total, false) {
+    std::filesystem::create_directories(dir_);
+    const std::string manifest = ManifestPath();
+    if (resume && std::filesystem::exists(manifest)) {
+      LoadManifest(manifest);
+    } else {
+      Clear();
+      WriteManifest();
+    }
+  }
+
+  bool IsDone(std::size_t cell) const { return done_.at(cell); }
+
+  /// Reads the stats of a completed cell back from its result file.
+  GpuRunStats LoadResult(std::size_t cell, std::uint64_t cell_fingerprint) {
+    const std::string payload =
+        ReadSnapshotFile(CellPath(cell), cell_fingerprint);
+    Deserializer d(payload);
+    GpuRunStats stats;
+    Load(d, stats);
+    d.Finish();
+    return stats;
+  }
+
+  /// Persists a finished cell: result file first, then the manifest entry
+  /// (so a crash between the two just redoes the cell), then the now-
+  /// obsolete mid-run snapshot is dropped. Thread-safe.
+  void CommitCell(std::size_t cell, const GpuRunStats& stats,
+                  std::uint64_t cell_fingerprint) {
+    Serializer s;
+    Save(s, stats);
+    WriteSnapshotFile(CellPath(cell), cell_fingerprint, s.bytes());
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      done_.at(cell) = true;
+      WriteManifest();
+    }
+    std::error_code ignored;
+    std::filesystem::remove(SnapPath(cell), ignored);
+  }
+
+  std::string CellPath(std::size_t cell) const {
+    return dir_ + "/cell_" + std::to_string(cell) + ".bin";
+  }
+  std::string SnapPath(std::size_t cell) const {
+    return dir_ + "/snap_" + std::to_string(cell) + ".ckpt";
+  }
+
+ private:
+  std::string ManifestPath() const { return dir_ + "/manifest.json"; }
+
+  static std::string ToHex(std::uint64_t v) {
+    std::ostringstream oss;
+    oss << std::hex << v;
+    return oss.str();
+  }
+
+  void LoadManifest(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    JsonValue manifest;
+    try {
+      manifest = JsonValue::Parse(text.str());
+    } catch (const std::invalid_argument& e) {
+      throw SerializeError("checkpoint manifest '" + path +
+                           "' is corrupt: " + e.what() +
+                           "; delete the checkpoint directory to start over");
+    }
+    const std::string written = manifest.At("fingerprint").AsString();
+    if (written != ToHex(fingerprint_)) {
+      throw SerializeError(
+          "checkpoint directory '" + dir_ +
+          "' was written by a different sweep configuration (fingerprint " +
+          written + ", expected " + ToHex(fingerprint_) +
+          "); delete it or point checkpoint_dir elsewhere");
+    }
+    if (static_cast<std::size_t>(manifest.At("total").AsNumber()) !=
+        done_.size()) {
+      throw SerializeError("checkpoint manifest '" + path +
+                           "' cell count does not match this sweep");
+    }
+    for (const JsonValue& v : manifest.At("completed").AsArray()) {
+      const auto cell = static_cast<std::size_t>(v.AsNumber());
+      if (cell >= done_.size()) {
+        throw SerializeError("checkpoint manifest '" + path +
+                             "' lists out-of-range cell " +
+                             std::to_string(cell));
+      }
+      done_[cell] = true;
+    }
+  }
+
+  /// Atomically rewrites the manifest (temp file + rename) so a reader —
+  /// including a resuming run — never sees a partial document.
+  void WriteManifest() const {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.BeginObject();
+    w.Key("format").Value(static_cast<std::int64_t>(1));
+    w.Key("fingerprint").Value(ToHex(fingerprint_));
+    w.Key("total").Value(static_cast<std::uint64_t>(done_.size()));
+    w.Key("completed").BeginArray();
+    for (std::size_t i = 0; i < done_.size(); ++i) {
+      if (done_[i]) w.Value(static_cast<std::uint64_t>(i));
+    }
+    w.EndArray();
+    w.EndObject();
+    AtomicWriteFile(ManifestPath(), out.str());
+  }
+
+  /// Drops stale checkpoint files (fresh start or resume=false).
+  void Clear() {
+    for (std::size_t i = 0; i < done_.size(); ++i) {
+      std::error_code ignored;
+      std::filesystem::remove(CellPath(i), ignored);
+      std::filesystem::remove(SnapPath(i), ignored);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::uint64_t fingerprint_;
+  std::vector<bool> done_;
+};
+
 }  // namespace
+
+std::uint64_t SweepFingerprint(const std::vector<SchemeSpec>& schemes,
+                               const std::vector<WorkloadProfile>& workloads,
+                               const SweepOptions& options) {
+  Serializer s;
+  s.U64(options.lengths.warmup);
+  s.U64(options.lengths.measure);
+  s.U64(schemes.size());
+  s.U64(workloads.size());
+  for (const SchemeSpec& scheme : schemes) {
+    s.Str(scheme.label);
+    const GpuConfig config = EffectiveConfig(scheme, options);
+    for (const WorkloadProfile& w : workloads) {
+      s.U64(GpuConfigFingerprint(config, w));
+    }
+  }
+  return Fnv1a64(s.bytes());
+}
 
 SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
                      const std::vector<WorkloadProfile>& workloads,
@@ -244,6 +460,36 @@ SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
       EnumerateCells(schemes.size(), workloads.size());
   const int total = static_cast<int>(cells.size());
 
+  // Checkpointing (off by default; the per-cell simulation path is then
+  // exactly the original one). Completed cells are loaded from their
+  // result files up front so workers only ever see unfinished cells.
+  std::unique_ptr<SweepCheckpoint> checkpoint;
+  std::vector<std::uint64_t> cell_fingerprints(cells.size(), 0);
+  if (!options.checkpoint_dir.empty()) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      cell_fingerprints[i] = GpuConfigFingerprint(
+          EffectiveConfig(schemes[cells[i].scheme], options),
+          workloads[cells[i].workload]);
+    }
+    checkpoint = std::make_unique<SweepCheckpoint>(
+        options.checkpoint_dir, SweepFingerprint(schemes, workloads, options),
+        cells.size(), options.resume);
+  }
+  const auto run_one = [&](std::size_t index) {
+    const SweepCell& cell = cells[index];
+    const SchemeSpec& scheme = schemes[cell.scheme];
+    const WorkloadProfile& workload = workloads[cell.workload];
+    if (checkpoint == nullptr) return RunCell(scheme, workload, options);
+    GpuRunStats stats = RunCellCheckpointed(scheme, workload, options,
+                                            checkpoint->SnapPath(index),
+                                            cell_fingerprints[index]);
+    checkpoint->CommitCell(index, stats, cell_fingerprints[index]);
+    return stats;
+  };
+  const auto load_done = [&](std::size_t index) {
+    return checkpoint->LoadResult(index, cell_fingerprints[index]);
+  };
+
   const unsigned requested = options.threads <= 0
                                  ? ThreadPool::DefaultThreads()
                                  : static_cast<unsigned>(options.threads);
@@ -252,14 +498,16 @@ SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
     // Sequential path: run inline in definition order, reporting each cell
     // as it starts (the engine's original behavior).
     int done = 0;
-    for (const SweepCell& cell : cells) {
-      const SchemeSpec& scheme = schemes[cell.scheme];
-      const WorkloadProfile& workload = workloads[cell.workload];
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const SchemeSpec& scheme = schemes[cells[i].scheme];
+      const WorkloadProfile& workload = workloads[cells[i].workload];
       if (options.progress) {
         options.progress(scheme.label, workload.name, done, total);
       }
       result.Set(scheme.label, workload.name,
-                 RunCell(scheme, workload, options));
+                 checkpoint != nullptr && checkpoint->IsDone(i)
+                     ? load_done(i)
+                     : run_one(i));
       ++done;
     }
     return result;
@@ -275,11 +523,13 @@ SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
   ThreadPool pool(pool_size);
   std::mutex progress_mu;
   int done = 0;
-  for (const SweepCell& cell : cells) {
-    pool.Submit([&, cell] {
-      const SchemeSpec& scheme = schemes[cell.scheme];
-      const WorkloadProfile& workload = workloads[cell.workload];
-      GpuRunStats stats = RunCell(scheme, workload, options);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    pool.Submit([&, i] {
+      const SchemeSpec& scheme = schemes[cells[i].scheme];
+      const WorkloadProfile& workload = workloads[cells[i].workload];
+      GpuRunStats stats = checkpoint != nullptr && checkpoint->IsDone(i)
+                              ? load_done(i)
+                              : run_one(i);
       std::lock_guard<std::mutex> lock(progress_mu);
       result.Set(scheme.label, workload.name, stats);
       if (options.progress) {

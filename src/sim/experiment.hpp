@@ -144,7 +144,33 @@ struct SweepOptions {
   /// NoC scheduling mode applied to every cell when set (overrides each
   /// scheme's GpuConfig::scheduling; see SchedulingMode in noc/network.hpp).
   std::optional<SchedulingMode> scheduling;
+
+  // --- crash-resumable sweeps (DESIGN.md §10) ---
+  /// Directory for checkpoint state (empty = checkpointing off, the
+  /// default; the per-cell simulation path is then byte-for-byte the
+  /// non-checkpointing one). RunSweep maintains an atomically-rewritten
+  /// manifest.json, one cell_<i>.bin result file per completed cell and,
+  /// when checkpoint_interval > 0, a snap_<i>.ckpt mid-run snapshot per
+  /// in-flight cell. All files carry the sweep fingerprint and are
+  /// rejected under a different configuration.
+  std::string checkpoint_dir;
+  /// Cycles between mid-cell snapshots (0 = only per-cell completion
+  /// files; a killed run then redoes at most one full cell per thread).
+  Cycle checkpoint_interval = 0;
+  /// Resume from `checkpoint_dir`: completed cells are loaded from their
+  /// result files, an in-flight cell restarts from its snapshot. The
+  /// resumed sweep is bit-identical to an uninterrupted one. When false,
+  /// stale checkpoint state in the directory is cleared first.
+  bool resume = false;
 };
+
+/// Fingerprint of everything that determines a sweep's results: run
+/// lengths, scheme labels and effective configurations (after the audit/
+/// telemetry/scheduling overrides) and workloads. Checkpoint state is only
+/// valid for the sweep that wrote it; this is how that is enforced.
+std::uint64_t SweepFingerprint(const std::vector<SchemeSpec>& schemes,
+                               const std::vector<WorkloadProfile>& workloads,
+                               const SweepOptions& options);
 
 /// The sweep grid in execution order (workload-major, matching the layout
 /// of SweepResult and the original sequential engine).

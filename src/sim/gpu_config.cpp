@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/cli.hpp"
+
 namespace gnoc {
 
 GpuConfig GpuConfig::Baseline() { return GpuConfig{}; }
@@ -73,6 +75,86 @@ void GpuConfig::ApplyOverrides(const Config& overrides) {
       overrides.GetInt("l2_latency", static_cast<std::int64_t>(mc.l2_latency)));
   seed = static_cast<std::uint64_t>(
       overrides.GetInt("seed", static_cast<std::int64_t>(seed)));
+}
+
+void RegisterGpuConfigFlags(FlagSet& flags) {
+  const GpuConfig def;
+  // The enum-ish keys accept the aliases their Parse* functions accept
+  // (e.g. routing xyyx/xy-yx), so they register as validated strings
+  // rather than strict enums.
+  const auto parsed_by = [](auto parser) {
+    return [parser](const std::string& v) -> std::string {
+      try {
+        parser(v);
+        return "";
+      } catch (const std::exception& e) {
+        return e.what();
+      }
+    };
+  };
+  const auto at_least = [](std::int64_t min) {
+    return [min](std::int64_t v) {
+      return v < min ? "must be >= " + std::to_string(min) : std::string();
+    };
+  };
+  flags.AddInt("width", def.width, "mesh width", at_least(1));
+  flags.AddInt("height", def.height, "mesh height", at_least(1));
+  flags.AddInt("num_mcs", def.num_mcs, "number of memory controllers",
+               at_least(1));
+  flags.AddString("placement", "bottom",
+                  "MC placement (bottom|edge|top-bottom|diamond|...)",
+                  parsed_by(ParseMcPlacement));
+  flags.AddString("routing", "xy", "routing algorithm (xy|yx|xy-yx)",
+                  parsed_by(ParseRouting));
+  flags.AddString("vc_policy", "split",
+                  "VC policy (split|mono|partial|asym|dynamic|...)",
+                  parsed_by(ParseVcPolicy));
+  flags.AddInt("num_vcs", def.num_vcs, "VCs per port", at_least(1));
+  flags.AddInt("vc_depth", def.vc_depth, "flit slots per VC", at_least(1));
+  flags.AddBool("allow_unsafe", def.allow_unsafe,
+                "allow protocol-deadlock-unsafe configurations");
+  flags.AddEnum("division", "virtual", "request/reply network division",
+                {"virtual", "physical"});
+  flags.AddBool("atomic_vc_realloc", def.atomic_vc_realloc,
+                "conservative (atomic) VC reallocation");
+  flags.AddBool("record_trace", def.record_trace,
+                "record every injected packet");
+  flags.AddBool("audit", def.audit, "run the NoC invariant auditor");
+  flags.AddInt("audit_interval", static_cast<std::int64_t>(def.audit_interval),
+               "cycles between auditor sweeps", at_least(1));
+  flags.AddBool("telemetry", def.telemetry, "run the NoC telemetry sampler");
+  flags.AddInt("telemetry_interval",
+               static_cast<std::int64_t>(def.telemetry_interval),
+               "cycles between telemetry samples", at_least(1));
+  flags.AddInt("telemetry_max_windows",
+               static_cast<std::int64_t>(def.telemetry_max_windows),
+               "telemetry window cap (0 = unbounded)", at_least(0));
+  flags.AddString("scheduling", "full",
+                  "NoC component scheduling (full|active-set)",
+                  parsed_by(ParseSchedulingMode));
+  flags.AddBool("ideal_noc", def.ideal_noc,
+                "replace the NoC with the contention-free ideal fabric");
+  flags.AddInt("mc_inject_bw", def.mc_inject_flits_per_cycle,
+               "MC NIC injection bandwidth (flits/cycle)", at_least(1));
+  flags.AddString("mc_scheduler", "in-order",
+                  "MC request scheduling (in-order|fr-fcfs)",
+                  [](const std::string& v) -> std::string {
+                    if (v == "in-order" || v == "inorder" || v == "fifo" ||
+                        v == "fr-fcfs" || v == "frfcfs") {
+                      return "";
+                    }
+                    return "must be in-order|fr-fcfs";
+                  });
+  flags.AddString("arbiter", "rr", "VA/SA arbiter (rr|matrix)",
+                  parsed_by(ParseArbiterKind));
+  flags.AddInt("warps", def.sm.warps_per_sm, "warps per SM", at_least(1));
+  flags.AddInt("mshr", def.sm.mshr_entries, "MSHR entries per SM",
+               at_least(1));
+  flags.AddBool("real_l1", def.sm.use_real_l1,
+                "model the L1 structurally instead of probabilistically");
+  flags.AddInt("l2_latency", static_cast<std::int64_t>(def.mc.l2_latency),
+               "MC-side L2 read service latency", at_least(0));
+  flags.AddInt("seed", static_cast<std::int64_t>(def.seed), "master RNG seed");
 }
 
 std::string GpuConfig::Describe() const {

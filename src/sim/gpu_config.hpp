@@ -12,6 +12,8 @@
 
 namespace gnoc {
 
+class FlagSet;
+
 /// How the request/reply classes are separated (paper Sec. 4.2, "Impact of
 /// Network Division"): one physical network with VCs divided virtually (the
 /// paper's choice) or two parallel physical networks (prior work [11]).
@@ -99,5 +101,10 @@ struct GpuConfig {
   /// One-line description, e.g. "bottom + XY-YX, partial-monopolize, 2 VCs".
   std::string Describe() const;
 };
+
+/// Registers every ApplyOverrides key on a FlagSet (typed, documented,
+/// validated), so drivers that expose the full configuration surface get
+/// help text and unknown-flag rejection for free.
+void RegisterGpuConfigFlags(FlagSet& flags);
 
 }  // namespace gnoc

@@ -4,7 +4,125 @@
 
 #include <cassert>
 
+#include "common/serialize.hpp"
+
 namespace gnoc {
+
+void Save(Serializer& s, const GpuRunStats& stats) {
+  s.Double(stats.ipc);
+  s.U64(stats.cycles);
+  s.U64(stats.instructions);
+  stats.network.Save(s);
+  for (std::uint64_t v : stats.packets_by_type) s.U64(v);
+  s.U64(stats.request_flits);
+  s.U64(stats.reply_flits);
+  s.Double(stats.l2_miss_rate);
+  s.Double(stats.dram_row_hit_rate);
+  s.Double(stats.avg_read_latency);
+  s.Bool(stats.deadlocked);
+  stats.audit.Save(s);
+  stats.telemetry.Save(s);
+}
+
+void Load(Deserializer& d, GpuRunStats& stats) {
+  stats.ipc = d.Double();
+  stats.cycles = d.U64();
+  stats.instructions = d.U64();
+  stats.network.Load(d);
+  for (std::uint64_t& v : stats.packets_by_type) v = d.U64();
+  stats.request_flits = d.U64();
+  stats.reply_flits = d.U64();
+  stats.l2_miss_rate = d.Double();
+  stats.dram_row_hit_rate = d.Double();
+  stats.avg_read_latency = d.Double();
+  stats.deadlocked = d.Bool();
+  stats.audit.Load(d);
+  stats.telemetry.Load(d);
+}
+
+namespace {
+
+void HashCacheConfig(Serializer& s, const CacheConfig& c) {
+  s.U32(c.size_bytes);
+  s.U32(c.line_bytes);
+  s.U32(c.ways);
+}
+
+void HashPacketSizes(Serializer& s, const PacketSizes& p) {
+  s.I32(p.read_request);
+  s.I32(p.write_request);
+  s.I32(p.read_reply);
+  s.I32(p.write_reply);
+}
+
+}  // namespace
+
+std::uint64_t GpuConfigFingerprint(const GpuConfig& config,
+                                   const WorkloadProfile& workload) {
+  Serializer s;
+  // GpuConfig, field by field in declaration order.
+  s.I32(config.width);
+  s.I32(config.height);
+  s.I32(config.num_mcs);
+  s.U8(static_cast<std::uint8_t>(config.placement));
+  s.U8(static_cast<std::uint8_t>(config.routing));
+  s.U8(static_cast<std::uint8_t>(config.vc_policy));
+  s.I32(config.num_vcs);
+  s.I32(config.vc_depth);
+  s.U64(config.link_latency);
+  s.I32(config.inject_queue_capacity);
+  s.I32(config.eject_capacity);
+  s.Bool(config.atomic_vc_realloc);
+  s.U64(config.dynamic_epoch);
+  s.U8(static_cast<std::uint8_t>(config.arbiter));
+  s.Bool(config.allow_unsafe);
+  s.U8(static_cast<std::uint8_t>(config.division));
+  s.Bool(config.record_trace);
+  s.Bool(config.audit);
+  s.U64(config.audit_interval);
+  s.Bool(config.telemetry);
+  s.U64(config.telemetry_interval);
+  s.U64(config.telemetry_max_windows);
+  s.U8(static_cast<std::uint8_t>(config.scheduling));
+  s.Bool(config.ideal_noc);
+  s.I32(config.mc_inject_flits_per_cycle);
+  // SmConfig.
+  s.I32(config.sm.warps_per_sm);
+  s.I32(config.sm.mshr_entries);
+  s.I32(config.sm.max_outstanding_writes);
+  s.U32(config.sm.line_bytes);
+  HashPacketSizes(s, config.sm.sizes);
+  s.Bool(config.sm.use_real_l1);
+  HashCacheConfig(s, config.sm.l1);
+  // McConfig.
+  HashCacheConfig(s, config.mc.l2);
+  s.I32(config.mc.dram.num_banks);
+  s.U64(config.mc.dram.row_hit_latency);
+  s.U64(config.mc.dram.row_miss_latency);
+  s.U64(config.mc.dram.bank_occupancy);
+  s.U32(config.mc.dram.line_bytes);
+  s.U32(config.mc.dram.row_bytes);
+  s.U8(static_cast<std::uint8_t>(config.mc.scheduler));
+  s.I32(config.mc.sched_window);
+  s.U64(config.mc.l2_latency);
+  s.U64(config.mc.l2_write_latency);
+  s.I32(config.mc.request_queue_capacity);
+  s.I32(config.mc.max_inflight);
+  HashPacketSizes(s, config.mc.sizes);
+  s.U64(config.seed);
+  // WorkloadProfile.
+  s.Str(workload.name);
+  s.Str(workload.suite);
+  s.Double(workload.mem_ratio);
+  s.Double(workload.read_fraction);
+  s.Double(workload.l1_miss_rate);
+  s.Double(workload.write_traffic_rate);
+  s.Double(workload.spatial_locality);
+  s.I32(workload.working_set_lines);
+  s.I32(workload.write_request_flits);
+  s.I32(workload.coalescing_degree);
+  return Fnv1a64(s.bytes());
+}
 
 GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
     : config_(config),
@@ -107,6 +225,35 @@ GpuRunStats GpuSystem::Run(Cycle warmup, Cycle measure) {
     if (xport_->Deadlocked()) break;
   }
   return Measure();
+}
+
+void GpuSystem::Save(Serializer& s) const {
+  // xport_ is the outermost fabric: the trace recorder (which chains to the
+  // real fabric) when recording, the fabric itself otherwise.
+  xport_->Save(s);
+  for (const auto& sm : sms_) sm->Save(s);
+  for (const auto& mc : mcs_) mc->Save(s);
+  s.U64(measured_since_);
+}
+
+void GpuSystem::Load(Deserializer& d) {
+  xport_->Load(d);
+  for (auto& sm : sms_) sm->Load(d);
+  for (auto& mc : mcs_) mc->Load(d);
+  measured_since_ = d.U64();
+}
+
+void GpuSystem::SaveSnapshot(const std::string& path) const {
+  Serializer s;
+  Save(s);
+  WriteSnapshotFile(path, Fingerprint(), s.bytes());
+}
+
+void GpuSystem::LoadSnapshot(const std::string& path) {
+  const std::string payload = ReadSnapshotFile(path, Fingerprint());
+  Deserializer d(payload);
+  Load(d);
+  d.Finish();
 }
 
 GpuRunStats GpuSystem::Measure() const {

@@ -49,6 +49,16 @@ struct GpuRunStats {
   TelemetryReport telemetry;
 };
 
+/// Serialization of measured results (checkpoint cell files).
+void Save(Serializer& s, const GpuRunStats& stats);
+void Load(Deserializer& d, GpuRunStats& stats);
+
+/// Canonical fingerprint of a (configuration, workload) pair: FNV-1a over
+/// every field in declaration order. Snapshot files carry this value and
+/// refuse to load under a different configuration (see common/serialize.hpp).
+std::uint64_t GpuConfigFingerprint(const GpuConfig& config,
+                                   const WorkloadProfile& workload);
+
 class GpuSystem {
  public:
   /// Builds the system. Throws std::invalid_argument when the configuration
@@ -91,6 +101,26 @@ class GpuSystem {
   void ResetStats();
 
   Cycle now() const { return xport_->now(); }
+
+  /// Fingerprint of this system's (config, workload) pair.
+  std::uint64_t Fingerprint() const {
+    return GpuConfigFingerprint(config_, workload_);
+  }
+
+  /// Snapshot support (DESIGN.md §10): fabric (routers, NICs, channels,
+  /// auditor, telemetry, trace recorder), SMs, MCs and the measurement
+  /// epoch. Wiring (sinks, MC node lists, link modes) is construction-
+  /// derived and reapplied, not serialized. Loading into a system built
+  /// from a different configuration is undefined — use the snapshot-file
+  /// API below, which checks the fingerprint.
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
+
+  /// Writes/reads a framed snapshot file (magic + version + fingerprint +
+  /// CRC; see common/serialize.hpp). LoadSnapshot throws SerializeError on
+  /// corruption or a fingerprint mismatch.
+  void SaveSnapshot(const std::string& path) const;
+  void LoadSnapshot(const std::string& path);
 
   /// Access to individual models (tests, detailed analysis).
   const StreamingMultiprocessor& sm(std::size_t i) const { return *sms_.at(i); }

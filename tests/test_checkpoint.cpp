@@ -1,0 +1,358 @@
+// Tests for the checkpoint/restore subsystem (DESIGN.md §10): GpuSystem
+// snapshot round-trips, the hard bit-identical-resume guarantee across the
+// (VC policy x routing x placement x scheduling) matrix, and crash-
+// resumable sweeps (manifest skip, mid-sweep interruption, fingerprint
+// rejection).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "sim/experiment.hpp"
+#include "sim/gpu_system.hpp"
+
+namespace gnoc {
+namespace {
+
+/// Canonical byte image of measured stats — byte equality here is the
+/// "bit-identical results" the checkpoint subsystem guarantees.
+std::string StatsBytes(const GpuRunStats& stats) {
+  Serializer s;
+  Save(s, stats);
+  return s.TakeBytes();
+}
+
+std::string SweepBytes(const SweepResult& result) {
+  Serializer s;
+  for (const CellResult& cell : result.Cells()) {
+    s.Str(cell.scheme);
+    s.Str(cell.workload);
+    Save(s, cell.stats);
+  }
+  return s.TakeBytes();
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("gnoc_checkpoint_") + info->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// Replays GpuSystem::Run but snapshots mid-measurement and finishes the
+/// run in a *second* system restored from the file. Returns the measured
+/// stats of the resumed run.
+GpuRunStats InterruptedRun(const GpuConfig& cfg, const WorkloadProfile& wl,
+                           Cycle warmup, Cycle measure, Cycle snap_at,
+                           const std::string& path) {
+  {
+    GpuSystem gpu(cfg, wl);
+    for (Cycle c = 0; c < warmup; ++c) gpu.Tick();
+    gpu.ResetStats();
+    for (Cycle c = 0; c < snap_at; ++c) {
+      gpu.Tick();
+      if (gpu.fabric().Deadlocked()) break;
+    }
+    // A deadlock before the snapshot point ends the run outright (exactly
+    // as GpuSystem::Run would); there is nothing left to resume.
+    if (gpu.fabric().Deadlocked()) return gpu.Measure();
+    gpu.SaveSnapshot(path);
+    // The first system dies here — the crash.
+  }
+  GpuSystem resumed(cfg, wl);
+  resumed.LoadSnapshot(path);
+  for (Cycle c = snap_at; c < measure; ++c) {
+    resumed.Tick();
+    if (resumed.fabric().Deadlocked()) break;
+  }
+  return resumed.Measure();
+}
+
+TEST_F(CheckpointTest, SnapshotResumeIsBitIdenticalAcrossDesignMatrix) {
+  // The matrix the paper sweeps: VC policy x routing x placement, plus both
+  // scheduling modes. Each combination must resume bit-identically.
+  struct Combo {
+    VcPolicyKind policy;
+    RoutingAlgorithm routing;
+    McPlacement placement;
+    SchedulingMode scheduling;
+  };
+  const std::vector<Combo> combos = {
+      {VcPolicyKind::kSplit, RoutingAlgorithm::kXY, McPlacement::kBottom,
+       SchedulingMode::kFull},
+      {VcPolicyKind::kFullMonopolize, RoutingAlgorithm::kYX,
+       McPlacement::kBottom, SchedulingMode::kFull},
+      {VcPolicyKind::kPartialMonopolize, RoutingAlgorithm::kXYYX,
+       McPlacement::kTopBottom, SchedulingMode::kActiveSet},
+      {VcPolicyKind::kSplit, RoutingAlgorithm::kYX, McPlacement::kDiamond,
+       SchedulingMode::kActiveSet},
+  };
+  const WorkloadProfile& wl = FindWorkload("BFS");
+  const Cycle warmup = 200;
+  const Cycle measure = 600;
+  int i = 0;
+  for (const Combo& combo : combos) {
+    GpuConfig cfg = GpuConfig::Baseline();
+    cfg.vc_policy = combo.policy;
+    cfg.routing = combo.routing;
+    cfg.placement = combo.placement;
+    cfg.scheduling = combo.scheduling;
+    cfg.allow_unsafe = true;  // the matrix includes unsafe combinations
+
+    GpuSystem straight(cfg, wl);
+    const GpuRunStats want = straight.Run(warmup, measure);
+    const GpuRunStats got =
+        InterruptedRun(cfg, wl, warmup, measure, /*snap_at=*/measure / 3,
+                       Path("combo_" + std::to_string(i++) + ".snap"));
+    EXPECT_EQ(StatsBytes(got), StatsBytes(want))
+        << "resume diverged for " << cfg.Describe();
+  }
+}
+
+TEST_F(CheckpointTest, SnapshotWithAuditAndTelemetryRoundTrips) {
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.audit = true;
+  cfg.telemetry = true;
+  cfg.telemetry_interval = 50;
+  const WorkloadProfile& wl = FindWorkload("KMN");
+
+  GpuSystem straight(cfg, wl);
+  const GpuRunStats want = straight.Run(150, 450);
+  const GpuRunStats got =
+      InterruptedRun(cfg, wl, 150, 450, /*snap_at=*/200, Path("at.snap"));
+  EXPECT_EQ(StatsBytes(got), StatsBytes(want));
+}
+
+TEST_F(CheckpointTest, SnapshotDuringWarmupResumes) {
+  // A crash before ResetStats must also resume exactly.
+  GpuConfig cfg = GpuConfig::Baseline();
+  const WorkloadProfile& wl = FindWorkload("BFS");
+  const std::string path = Path("warm.snap");
+  {
+    GpuSystem gpu(cfg, wl);
+    for (Cycle c = 0; c < 120; ++c) gpu.Tick();
+    gpu.SaveSnapshot(path);
+  }
+  GpuSystem resumed(cfg, wl);
+  resumed.LoadSnapshot(path);
+  for (Cycle c = 120; c < 300; ++c) resumed.Tick();
+  resumed.ResetStats();
+  for (Cycle c = 0; c < 400; ++c) {
+    resumed.Tick();
+    if (resumed.fabric().Deadlocked()) break;
+  }
+
+  GpuSystem straight(cfg, wl);
+  const GpuRunStats want = straight.Run(300, 400);
+  EXPECT_EQ(StatsBytes(resumed.Measure()), StatsBytes(want));
+}
+
+TEST_F(CheckpointTest, SnapshotRejectsDifferentConfig) {
+  const WorkloadProfile& wl = FindWorkload("BFS");
+  GpuConfig cfg = GpuConfig::Baseline();
+  GpuSystem gpu(cfg, wl);
+  gpu.Run(50, 100);
+  gpu.SaveSnapshot(Path("base.snap"));
+
+  GpuConfig other = cfg;
+  other.routing = RoutingAlgorithm::kYX;
+  GpuSystem wrong(other, wl);
+  EXPECT_THROW(wrong.LoadSnapshot(Path("base.snap")), SerializeError);
+
+  // Different workload, same NoC config: also a different fingerprint.
+  GpuSystem wrong_wl(cfg, FindWorkload("KMN"));
+  EXPECT_THROW(wrong_wl.LoadSnapshot(Path("base.snap")), SerializeError);
+}
+
+TEST_F(CheckpointTest, FingerprintCoversConfigAndWorkload) {
+  const WorkloadProfile& wl = FindWorkload("BFS");
+  const GpuConfig base = GpuConfig::Baseline();
+  GpuConfig tweaked = base;
+  tweaked.vc_depth = base.vc_depth + 1;
+  EXPECT_NE(GpuConfigFingerprint(base, wl), GpuConfigFingerprint(tweaked, wl));
+  EXPECT_EQ(GpuConfigFingerprint(base, wl), GpuConfigFingerprint(base, wl));
+  EXPECT_NE(GpuConfigFingerprint(base, wl),
+            GpuConfigFingerprint(base, FindWorkload("KMN")));
+}
+
+/// A small 2-scheme x 2-workload sweep used by the RunSweep tests.
+SweepOptions SmallSweepOptions() {
+  SweepOptions options;
+  options.lengths.warmup = 100;
+  options.lengths.measure = 300;
+  options.threads = 1;
+  return options;
+}
+
+std::vector<SchemeSpec> SmallSchemes() {
+  GpuConfig yx = GpuConfig::Baseline();
+  yx.routing = RoutingAlgorithm::kYX;
+  yx.vc_policy = VcPolicyKind::kFullMonopolize;
+  return {{"baseline", GpuConfig::Baseline()}, {"proposed", yx}};
+}
+
+TEST_F(CheckpointTest, CheckpointedSweepMatchesPlainSweep) {
+  const std::vector<SchemeSpec> schemes = SmallSchemes();
+  const std::vector<WorkloadProfile> workloads = WorkloadSubset({"BFS", "KMN"});
+
+  const SweepResult plain = RunSweep(schemes, workloads, SmallSweepOptions());
+
+  SweepOptions ckpt = SmallSweepOptions();
+  ckpt.checkpoint_dir = Path("sweep");
+  ckpt.checkpoint_interval = 75;  // exercise mid-cell snapshot writes too
+  const SweepResult checkpointed = RunSweep(schemes, workloads, ckpt);
+
+  EXPECT_EQ(SweepBytes(checkpointed), SweepBytes(plain));
+  EXPECT_TRUE(std::filesystem::exists(Path("sweep/manifest.json")));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::filesystem::exists(
+        Path("sweep/cell_" + std::to_string(i) + ".bin")));
+    // Mid-run snapshots are dropped once their cell commits.
+    EXPECT_FALSE(std::filesystem::exists(
+        Path("sweep/snap_" + std::to_string(i) + ".ckpt")));
+  }
+}
+
+TEST_F(CheckpointTest, ResumeLoadsCompletedCellsFromDisk) {
+  const std::vector<SchemeSpec> schemes = SmallSchemes();
+  const std::vector<WorkloadProfile> workloads = WorkloadSubset({"BFS"});
+
+  SweepOptions ckpt = SmallSweepOptions();
+  ckpt.checkpoint_dir = Path("sweep");
+  RunSweep(schemes, workloads, ckpt);
+
+  // Doctor cell 0's result file with sentinel stats. A resumed sweep must
+  // *load* it (proving completed cells are never re-run), not recompute.
+  GpuRunStats doctored;
+  doctored.instructions = 12345;
+  doctored.ipc = 42.0;
+  Serializer s;
+  Save(s, doctored);
+  WriteSnapshotFile(Path("sweep/cell_0.bin"),
+                    GpuConfigFingerprint(schemes[0].config, workloads[0]),
+                    s.bytes());
+
+  ckpt.resume = true;
+  const SweepResult resumed = RunSweep(schemes, workloads, ckpt);
+  EXPECT_EQ(resumed.Get("baseline", "BFS").instructions, 12345u);
+  EXPECT_EQ(resumed.Get("baseline", "BFS").ipc, 42.0);
+}
+
+TEST_F(CheckpointTest, InterruptedSweepResumesBitIdentically) {
+  const std::vector<SchemeSpec> schemes = SmallSchemes();
+  const std::vector<WorkloadProfile> workloads = WorkloadSubset({"BFS", "KMN"});
+
+  const SweepResult plain = RunSweep(schemes, workloads, SmallSweepOptions());
+
+  // First attempt dies (an exception stands in for SIGKILL) after two cells
+  // have committed.
+  SweepOptions ckpt = SmallSweepOptions();
+  ckpt.checkpoint_dir = Path("sweep");
+  ckpt.progress = [](const std::string&, const std::string&, int done, int) {
+    if (done == 2) throw std::runtime_error("simulated crash");
+  };
+  EXPECT_THROW(RunSweep(schemes, workloads, ckpt), std::runtime_error);
+  EXPECT_TRUE(std::filesystem::exists(Path("sweep/cell_0.bin")));
+  EXPECT_TRUE(std::filesystem::exists(Path("sweep/cell_1.bin")));
+  EXPECT_FALSE(std::filesystem::exists(Path("sweep/cell_2.bin")));
+
+  // Second attempt resumes and must match the uninterrupted sweep exactly.
+  ckpt.progress = nullptr;
+  ckpt.resume = true;
+  const SweepResult resumed = RunSweep(schemes, workloads, ckpt);
+  EXPECT_EQ(SweepBytes(resumed), SweepBytes(plain));
+}
+
+TEST_F(CheckpointTest, ResumeInParallelMatchesSequential) {
+  const std::vector<SchemeSpec> schemes = SmallSchemes();
+  const std::vector<WorkloadProfile> workloads = WorkloadSubset({"BFS", "KMN"});
+
+  const SweepResult plain = RunSweep(schemes, workloads, SmallSweepOptions());
+
+  SweepOptions ckpt = SmallSweepOptions();
+  ckpt.checkpoint_dir = Path("sweep");
+  ckpt.progress = [](const std::string&, const std::string&, int done, int) {
+    if (done == 1) throw std::runtime_error("simulated crash");
+  };
+  EXPECT_THROW(RunSweep(schemes, workloads, ckpt), std::runtime_error);
+
+  ckpt.progress = nullptr;
+  ckpt.resume = true;
+  ckpt.threads = 4;  // resume on the parallel path
+  const SweepResult resumed = RunSweep(schemes, workloads, ckpt);
+  EXPECT_EQ(SweepBytes(resumed), SweepBytes(plain));
+}
+
+TEST_F(CheckpointTest, ResumeRejectsDifferentSweepConfiguration) {
+  const std::vector<SchemeSpec> schemes = SmallSchemes();
+  const std::vector<WorkloadProfile> workloads = WorkloadSubset({"BFS"});
+
+  SweepOptions ckpt = SmallSweepOptions();
+  ckpt.checkpoint_dir = Path("sweep");
+  RunSweep(schemes, workloads, ckpt);
+
+  // Same directory, different run lengths: the sweep fingerprint changes
+  // and resuming must refuse rather than mix results.
+  SweepOptions other = ckpt;
+  other.resume = true;
+  other.lengths.measure += 100;
+  EXPECT_THROW(RunSweep(schemes, workloads, other), SerializeError);
+}
+
+TEST_F(CheckpointTest, FreshRunClearsStaleCheckpointState) {
+  const std::vector<SchemeSpec> schemes = SmallSchemes();
+  const std::vector<WorkloadProfile> workloads = WorkloadSubset({"BFS"});
+
+  SweepOptions ckpt = SmallSweepOptions();
+  ckpt.checkpoint_dir = Path("sweep");
+  RunSweep(schemes, workloads, ckpt);
+
+  // resume=false (the default) starts over: stale per-cell files from the
+  // previous run are dropped before the sweep begins, and the sweep still
+  // produces the right answer.
+  const SweepResult plain = RunSweep(schemes, workloads, SmallSweepOptions());
+  const SweepResult rerun = RunSweep(schemes, workloads, ckpt);
+  EXPECT_EQ(SweepBytes(rerun), SweepBytes(plain));
+}
+
+TEST_F(CheckpointTest, SweepFingerprintSeparatesConfigurations) {
+  const std::vector<SchemeSpec> schemes = SmallSchemes();
+  const std::vector<WorkloadProfile> workloads = WorkloadSubset({"BFS"});
+  const SweepOptions options = SmallSweepOptions();
+
+  SweepOptions longer = options;
+  longer.lengths.measure += 1;
+  SweepOptions audited = options;
+  audited.audit = true;
+  SweepOptions active = options;
+  active.scheduling = SchedulingMode::kActiveSet;
+
+  const std::uint64_t base = SweepFingerprint(schemes, workloads, options);
+  EXPECT_NE(base, SweepFingerprint(schemes, workloads, longer));
+  EXPECT_NE(base, SweepFingerprint(schemes, workloads, audited));
+  EXPECT_NE(base, SweepFingerprint(schemes, workloads, active));
+  // Execution-only knobs must NOT change the fingerprint: a sweep may be
+  // resumed with a different thread count.
+  SweepOptions threaded = options;
+  threaded.threads = 7;
+  threaded.checkpoint_interval = 50;
+  EXPECT_EQ(base, SweepFingerprint(schemes, workloads, threaded));
+}
+
+}  // namespace
+}  // namespace gnoc

@@ -9,11 +9,24 @@ namespace gnoc {
 namespace {
 
 TEST(ConfigTest, FromArgsParsesKeyValues) {
-  const char* argv[] = {"prog", "width=8", "rate=0.25", "verbose"};
+  const char* argv[] = {"prog", "width=8", "rate=0.25", "verbose=true"};
   Config cfg = Config::FromArgs(4, argv);
   EXPECT_EQ(cfg.GetInt("width", 0), 8);
   EXPECT_DOUBLE_EQ(cfg.GetDouble("rate", 0.0), 0.25);
   EXPECT_TRUE(cfg.GetBool("verbose", false));
+}
+
+TEST(ConfigTest, FromArgsRejectsBareTokens) {
+  // A token without '=' is a typo (e.g. a swallowed shell quote), not a
+  // boolean flag; it must fail loudly instead of silently becoming true.
+  const char* bare[] = {"prog", "verbose"};
+  EXPECT_THROW(Config::FromArgs(2, bare), std::invalid_argument);
+  const char* empty_key[] = {"prog", "=8"};
+  EXPECT_THROW(Config::FromArgs(2, empty_key), std::invalid_argument);
+}
+
+TEST(ConfigTest, FromStringRejectsBareTokens) {
+  EXPECT_THROW(Config::FromString("width=8 oops\n"), std::invalid_argument);
 }
 
 TEST(ConfigTest, FromStringSkipsCommentsAndBlanks) {
