@@ -143,6 +143,41 @@ inline void RegisterSweepFlags(FlagSet& flags) {
                NonNegative());
   flags.AddBool("resume", false,
                 "resume a checkpointed sweep from checkpoint_dir");
+  // Grid/topology overrides applied to every scheme's base configuration
+  // (WithGridOverrides), so the paper matrix re-runs on other topologies
+  // and sizes, e.g. topology=torus radix=16 num_vcs=4.
+  flags.AddEnum("topology", "mesh", "interconnect topology",
+                {"mesh", "torus", "cmesh", "circulant"});
+  flags.AddInt("radix", 8,
+               "square-grid shorthand: width = height = num_mcs = radix",
+               [](std::int64_t v) {
+                 return v < 2 ? std::string("must be >= 2") : std::string();
+               });
+  flags.AddInt("circulant_s1", 1, "circulant chord step s1",
+               [](std::int64_t v) {
+                 return v < 1 ? std::string("must be >= 1") : std::string();
+               });
+  flags.AddInt("circulant_s2", 0, "circulant chord step s2 (0 = near-sqrt)",
+               NonNegative());
+  flags.AddInt("num_vcs", 2,
+               "VCs per port (dateline topologies need >= 4 under split)",
+               [](std::int64_t v) {
+                 return v < 1 ? std::string("must be >= 1") : std::string();
+               });
+}
+
+/// Applies the shared grid/topology overrides (topology=, radix=,
+/// circulant_s1/s2=, num_vcs=) to a driver's base configuration. Keys the
+/// user did not set keep the driver's programmed values, so default runs
+/// are untouched.
+inline GpuConfig WithGridOverrides(GpuConfig cfg, const BenchOptions& opts) {
+  Config sub;
+  for (const char* key :
+       {"topology", "radix", "circulant_s1", "circulant_s2", "num_vcs"}) {
+    if (opts.raw.Contains(key)) sub.Set(key, opts.raw.GetString(key, ""));
+  }
+  cfg.ApplyOverrides(sub);
+  return cfg;
 }
 
 /// Builds the harness FlagSet (shared sweep flags + optional driver

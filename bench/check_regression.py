@@ -21,6 +21,11 @@ scheduling and once with active-set scheduling — and enforces three gates:
      checkpoint-off wall clock must be within --ckpt-tolerance (default 5%)
      of the checkpoint-enabled one — the off path may never pay checkpoint
      costs (it is the pre-checkpoint RunCell code path, null-hook pattern).
+  5. Extra gates: each entry of the baseline's "extra_gates" list (e.g. the
+     fixed-seed 16x16 torus sweep) re-runs gates 1-3 — scheduling-mode
+     bit-identity, results vs committed baseline, and the active/full
+     wall-clock ratio — under its own protocol. This pins the dateline
+     topologies' numbers the same way the 8x8 mesh baseline is pinned.
 
 Regenerate the baseline after an intentional behavior change with:
 
@@ -43,6 +48,17 @@ DEFAULT_PROTOCOL = {
     "args": ["scale=0.1", "threads=1", "workloads=CP,NQU,HOT,BFS,KMN"],
     "repeats": 3,
 }
+# Dateline-topology pin: same harness on a 16x16 torus (4 VCs for the
+# dateline halves). A smaller workload set keeps the 4x-router sweep quick.
+EXTRA_GATE_PROTOCOLS = [
+    {
+        "name": "torus16",
+        "harness": "bench/fig8_vc_monopolizing",
+        "args": ["scale=0.1", "threads=1", "workloads=BFS,KMN",
+                 "radix=16", "topology=torus", "num_vcs=4"],
+        "repeats": 2,
+    },
+]
 FLOAT_REL_TOL = 1e-6
 
 
@@ -178,6 +194,58 @@ def main():
           f"{full_wall:.3f}s <= on {ckpt_wall:.3f}s "
           f"+{args.ckpt_tolerance:.0%})")
 
+    # Gate 5: extra pinned protocols (e.g. the fixed-seed 16x16 torus run),
+    # each re-running the bit-identity / stats / wall-ratio gates.
+    extra_specs = (EXTRA_GATE_PROTOCOLS if args.update
+                   else baseline.get("extra_gates", []))
+    extra_updated = []
+    for spec in extra_specs:
+        name = spec["name"]
+        proto = {"harness": spec["harness"], "args": spec["args"],
+                 "repeats": spec["repeats"]}
+        e_full_doc, e_full_wall = run_mode(
+            args.build_dir, proto, "full",
+            os.path.join(args.out_dir, f"sweep_{name}_full.json"))
+        e_active_doc, e_active_wall = run_mode(
+            args.build_dir, proto, "active-set",
+            os.path.join(args.out_dir, f"sweep_{name}_active.json"))
+        e_ratio = e_active_wall / e_full_wall
+        print(f"check_regression[{name}]: wall full={e_full_wall:.3f}s "
+              f"active-set={e_active_wall:.3f}s ratio={e_ratio:.3f}")
+        diffs = diff_json(e_full_doc, e_active_doc, exact_floats=True)
+        if diffs:
+            print(f"check_regression[{name}]: FAIL — active-set diverged "
+                  "from full mode:", file=sys.stderr)
+            for d in diffs[:20]:
+                print("  " + d, file=sys.stderr)
+            return 1
+        print(f"check_regression[{name}]: bit-identity ok "
+              "(active-set == full, exact)")
+        if args.update:
+            extra_updated.append(dict(proto, name=name,
+                                      wall_ratio=round(e_ratio, 4),
+                                      results=e_full_doc))
+            continue
+        diffs = diff_json(spec["results"], e_full_doc, exact_floats=False)
+        if diffs:
+            print(f"check_regression[{name}]: FAIL — stats changed vs "
+                  "committed baseline (if intentional, rerun with --update):",
+                  file=sys.stderr)
+            for d in diffs[:20]:
+                print("  " + d, file=sys.stderr)
+            return 1
+        print(f"check_regression[{name}]: stats ok "
+              "(match committed baseline)")
+        allowed = spec["wall_ratio"] * (1.0 + args.max_regress)
+        if e_ratio > allowed:
+            print(f"check_regression[{name}]: FAIL — wall-clock ratio "
+                  f"{e_ratio:.3f} exceeds baseline {spec['wall_ratio']:.3f} "
+                  f"+{args.max_regress:.0%} allowance ({allowed:.3f})",
+                  file=sys.stderr)
+            return 1
+        print(f"check_regression[{name}]: perf ok "
+              f"(ratio {e_ratio:.3f} <= {allowed:.3f})")
+
     if args.update:
         doc = {
             "protocol": protocol,
@@ -185,6 +253,7 @@ def main():
                              "active-set": round(active_wall, 4)},
             "wall_ratio": round(ratio, 4),
             "results": full_doc,
+            "extra_gates": extra_updated,
         }
         with open(args.baseline, "w") as f:
             json.dump(doc, f, indent=1, sort_keys=True)

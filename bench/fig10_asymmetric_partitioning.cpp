@@ -20,9 +20,18 @@ int main(int argc, char** argv) {
       "Fig. 10 — Asymmetric VC partitioning (4 VCs, request:reply = 1:3 vs "
       "2:2, XY-YX routing)");
 
-  GpuConfig base = GpuConfig::Baseline();
+  GpuConfig base = WithGridOverrides(GpuConfig::Baseline(), opts);
+  if (Topology::Make(base.topology, base.width, base.height, base.circulant_s1,
+                     base.circulant_s2)
+          .has_datelines()) {
+    std::cerr << "fig10_asymmetric_partitioning: asymmetric VC partitioning"
+                 " needs both halves of each class's VC pair free; dateline"
+                 " topologies (torus, circulant) reserve them for wrap"
+                 " deadlock avoidance. Run this figure on mesh or cmesh.\n";
+    return 2;
+  }
   base.routing = RoutingAlgorithm::kXYYX;
-  base.num_vcs = 4;
+  if (!opts.raw.Contains("num_vcs")) base.num_vcs = 4;
   base.vc_policy = VcPolicyKind::kSplit;  // 2:2
 
   GpuConfig asym = base;
@@ -51,9 +60,9 @@ int main(int argc, char** argv) {
   // the diamond placement as well.
   std::cout << SectionHeader("Asymmetric partitioning on the diamond "
                              "placement (XY routing)");
-  GpuConfig d_base = GpuConfig::Baseline();
+  GpuConfig d_base = WithGridOverrides(GpuConfig::Baseline(), opts);
   d_base.placement = McPlacement::kDiamond;
-  d_base.num_vcs = 4;
+  if (!opts.raw.Contains("num_vcs")) d_base.num_vcs = 4;
   GpuConfig d_asym = d_base;
   d_asym.vc_policy = VcPolicyKind::kAsymmetric;
   const std::vector<SchemeSpec> d_schemes{{"Diamond (2:2)", d_base},

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   std::cout << SectionHeader(
       "Fig. 7 — Speed-up with routing algorithms (normalized to XY baseline)");
 
-  GpuConfig xy = GpuConfig::Baseline();
+  GpuConfig xy = WithGridOverrides(GpuConfig::Baseline(), opts);
   GpuConfig yx = xy;
   yx.routing = RoutingAlgorithm::kYX;
   GpuConfig xyyx = xy;

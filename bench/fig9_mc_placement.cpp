@@ -23,11 +23,17 @@ int main(int argc, char** argv) {
       "Fig. 9 — Speed-up with MC placements x routing (normalized to "
       "bottom + XY)");
 
-  auto scheme = [](McPlacement placement, RoutingAlgorithm routing,
-                   VcPolicyKind policy) {
-    GpuConfig cfg = GpuConfig::Baseline();
+  auto scheme = [&opts](McPlacement placement, RoutingAlgorithm routing,
+                        VcPolicyKind policy) {
+    GpuConfig cfg = WithGridOverrides(GpuConfig::Baseline(), opts);
     cfg.placement = placement;
     cfg.routing = routing;
+    // Off-mesh, wrap links mix the classes, so full monopolizing degrades to
+    // the link-aware partial scheme (see fig8 for the reasoning).
+    if (policy == VcPolicyKind::kFullMonopolize &&
+        cfg.topology != TopologyKind::kMesh) {
+      policy = VcPolicyKind::kPartialMonopolize;
+    }
     cfg.vc_policy = policy;
     return cfg;
   };

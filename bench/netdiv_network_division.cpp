@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   std::cout << SectionHeader(
       "Sec. 4.2 — Impact of network division (virtual vs physical)");
 
-  GpuConfig virt = GpuConfig::Baseline();  // 1 net, 2 VCs split
+  GpuConfig virt =
+      WithGridOverrides(GpuConfig::Baseline(), opts);  // 1 net, 2 VCs split
 
   GpuConfig phys = virt;  // 2 nets, 1 VC each (equal total buffering)
   phys.division = NetworkDivision::kPhysical;

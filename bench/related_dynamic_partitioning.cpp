@@ -26,9 +26,18 @@ int main(int argc, char** argv) {
       "Related work — static vs dynamic (feedback) VC partitioning "
       "(4 VCs, XY-YX)");
 
-  GpuConfig base = GpuConfig::Baseline();
+  GpuConfig base = WithGridOverrides(GpuConfig::Baseline(), opts);
+  if (Topology::Make(base.topology, base.width, base.height, base.circulant_s1,
+                     base.circulant_s2)
+          .has_datelines()) {
+    std::cerr << "related_dynamic_partitioning: dynamic/asymmetric VC"
+                 " partitioning needs both halves of each class's VC pair"
+                 " free; dateline topologies (torus, circulant) reserve them"
+                 " for wrap deadlock avoidance. Run on mesh or cmesh.\n";
+    return 2;
+  }
   base.routing = RoutingAlgorithm::kXYYX;
-  base.num_vcs = 4;
+  if (!opts.raw.Contains("num_vcs")) base.num_vcs = 4;
 
   GpuConfig asym = base;
   asym.vc_policy = VcPolicyKind::kAsymmetric;

@@ -184,6 +184,48 @@ fi
 rm -rf "$CKPT_DIR"
 echo "smoke: checkpoint ok — killed+resumed sweep byte-identical" >&2
 
+# Topology pass: the same figure on each non-mesh topology (8x8-scale,
+# 4 VCs for the dateline halves) with the invariant auditor on — wrap-link
+# deadlock avoidance and the concentrated router must keep every credit /
+# wormhole / quiescence invariant clean. Fixed args (no "$@"): this pass
+# pins its own scale and workload subset to stay cheap.
+TOPO_OUT=${GNOC_SMOKE_TOPO_JSON:-/tmp/smoke_topo.json}
+for topo in torus cmesh circulant; do
+  echo "smoke: $HARNESS topology=$topo radix=8 num_vcs=4 audit=true" >&2
+  "$HARNESS" scale=0.1 threads=4 workloads=BFS,KMN topology="$topo" \
+      radix=8 num_vcs=4 audit=true json="$TOPO_OUT" > /dev/null
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$TOPO_OUT" "$topo" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+bad = []
+cells = 0
+for name, sweep in doc["sweeps"].items():
+    for cell in sweep["cells"]:
+        cells += 1
+        audit = cell.get("audit")
+        if audit is None or not audit["enabled"]:
+            bad.append("%s/%s: auditor not enabled" %
+                       (cell["scheme"], cell["workload"]))
+        elif not audit["clean"]:
+            bad.append("%s/%s: %d violation(s) %s" %
+                       (cell["scheme"], cell["workload"],
+                        audit["violations"], audit["by_invariant"]))
+for line in bad:
+    print("smoke: TOPOLOGY AUDIT FAIL (%s) — %s" % (sys.argv[2], line),
+          file=sys.stderr)
+if bad:
+    sys.exit(1)
+print("smoke: topology %s ok — %d cells audit-clean" % (sys.argv[2], cells))
+EOF
+  else
+    grep -q '"clean": false' "$TOPO_OUT" && {
+      echo "smoke: TOPOLOGY AUDIT FAIL ($topo)" >&2; exit 1; }
+    echo "smoke: topology $topo ok (structural check only)" >&2
+  fi
+done
+
 # Sixth pass: one UBSan config, when an undefined-sanitizer tree exists
 # (any UB aborts the harness because the tree builds with
 # -fno-sanitize-recover=undefined).

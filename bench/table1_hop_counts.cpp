@@ -27,7 +27,10 @@ int main(int argc, char** argv) {
   TextTable table({"placement", "Hvert (closed)", "Hvert (exact)",
                    "Hhori (closed)", "Hhori (exact)", "avg hops (Eq. 3)"});
   for (McPlacement p : kAllPlacements) {
-    const TilePlan plan(n, n, n, p);
+    // The diamond ring is defined for 8 MCs (same rule as the N-sweep
+    // below); other placements scale with N per the paper.
+    if (p == McPlacement::kDiamond && n % 8 != 0) continue;
+    const TilePlan plan(n, n, p == McPlacement::kDiamond ? 8 : n, p);
     const HopCounts exact = EnumerateHopCounts(plan);
     const ClosedFormHops closed = ClosedFormHopCounts(p, n);
     table.AddRow(
@@ -71,5 +74,35 @@ int main(int argc, char** argv) {
   }
   Emit(sweep, opts.csv);
   report.Table("hops_vs_mesh_size", sweep);
+
+  // Per-topology extension of the same analysis: idealized all-pairs average
+  // router distance, closed form vs brute-force enumeration of the graph
+  // distance (the forms are exact; see IdealizedAverageDistance).
+  std::cout << SectionHeader("Idealized average distance per topology (N=" +
+                             std::to_string(n) + ")");
+  TextTable topo_table({"topology", "closed form", "exact enumeration"});
+  std::vector<Topology> topologies;
+  topologies.push_back(Topology::Mesh(n, n));
+  topologies.push_back(Topology::Torus(n, n));
+  if (n % 2 == 0) topologies.push_back(Topology::CMesh(n, n));
+  topologies.push_back(Topology::Circulant(n * n, 1, 0));
+  for (const Topology& topo : topologies) {
+    double brute = 0.0;
+    const int tiles = topo.num_tiles();
+    for (NodeId a = 0; a < tiles; ++a) {
+      for (NodeId b = 0; b < tiles; ++b) brute += topo.Distance(a, b);
+    }
+    brute /= static_cast<double>(tiles) * static_cast<double>(tiles);
+    std::string label = TopologyName(topo.kind());
+    if (topo.kind() == TopologyKind::kCirculant) {
+      label += "(" + std::to_string(topo.num_tiles()) + "; " +
+               std::to_string(topo.circulant_s1()) + "," +
+               std::to_string(topo.circulant_s2()) + ")";
+    }
+    topo_table.AddRow({label, FormatDouble(IdealizedAverageDistance(topo), 4),
+                       FormatDouble(brute, 4)});
+  }
+  Emit(topo_table, opts.csv);
+  report.Table("topology_avg_distance", topo_table);
   return 0;
 }

@@ -10,14 +10,71 @@ HopCounts EnumerateHopCounts(const TilePlan& plan) {
   for (NodeId core : plan.core_nodes()) {
     const Coord c = plan.CoordOf(core);
     for (NodeId mc : plan.mc_nodes()) {
-      const Coord m = plan.CoordOf(mc);
-      out.vertical += std::abs(m.y - c.y);
-      out.horizontal += std::abs(m.x - c.x);
+      // The topology graph's one mesh-distance implementation (shared with
+      // RouteLength).
+      const DistanceParts parts = MeshDistanceSplit(c, plan.CoordOf(mc));
+      out.vertical += parts.d2;
+      out.horizontal += parts.d1;
     }
   }
   out.num_pairs = static_cast<long long>(plan.core_nodes().size()) *
                   static_cast<long long>(plan.mc_nodes().size());
   return out;
+}
+
+HopCounts EnumerateHopCounts(const Topology& topo, const TilePlan& plan) {
+  HopCounts out;
+  for (NodeId core : plan.core_nodes()) {
+    for (NodeId mc : plan.mc_nodes()) {
+      const DistanceParts parts = topo.DistanceSplit(core, mc);
+      out.vertical += parts.d2;
+      out.horizontal += parts.d1;
+    }
+  }
+  out.num_pairs = static_cast<long long>(plan.core_nodes().size()) *
+                  static_cast<long long>(plan.mc_nodes().size());
+  return out;
+}
+
+namespace {
+
+/// Mean |a - b| over ordered pairs (a, b) in [0, k)^2, self-pairs included:
+/// sum = (k^3 - k) / 3, mean = (k^2 - 1) / (3k).
+double LineMeanDistance(int k) {
+  const double kd = k;
+  return (kd * kd - 1.0) / (3.0 * kd);
+}
+
+/// Mean ring distance min(d, k - d) over d uniform in [0, k).
+double RingMeanDistance(int k) {
+  const double kd = k;
+  return k % 2 == 0 ? kd / 4.0 : (kd * kd - 1.0) / (4.0 * kd);
+}
+
+}  // namespace
+
+double IdealizedAverageDistance(const Topology& topo) {
+  switch (topo.kind()) {
+    case TopologyKind::kMesh:
+      return LineMeanDistance(topo.width()) + LineMeanDistance(topo.height());
+    case TopologyKind::kTorus:
+      return RingMeanDistance(topo.width()) + RingMeanDistance(topo.height());
+    case TopologyKind::kCMesh:
+      // Each router hosts the same number of tiles, so tile pairs weight
+      // router-grid pairs uniformly and the mesh closed form applies to the
+      // router grid.
+      return LineMeanDistance(topo.width() / 2) +
+             LineMeanDistance(topo.height() / 2);
+    case TopologyKind::kCirculant: {
+      // Vertex-transitive: the distance distribution from any router equals
+      // the distance-by-delta table, so one O(N) sweep is exact.
+      const int n = topo.num_routers();
+      long long sum = 0;
+      for (int d = 0; d < n; ++d) sum += topo.Distance(0, d);
+      return static_cast<double>(sum) / static_cast<double>(n);
+    }
+  }
+  return 0.0;
 }
 
 ClosedFormHops ClosedFormHopCounts(McPlacement placement, int n) {

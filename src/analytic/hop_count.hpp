@@ -15,6 +15,7 @@
 #pragma once
 
 #include "noc/placement.hpp"
+#include "noc/topology.hpp"
 
 namespace gnoc {
 
@@ -31,8 +32,29 @@ struct HopCounts {
   }
 };
 
-/// Exact enumeration of Eq. 3 for an arbitrary tile plan.
+/// Exact enumeration of Eq. 3 for an arbitrary tile plan on the paper's
+/// mesh. Distances come from the topology graph's mesh distance
+/// (MeshDistanceSplit) — the same implementation behind RouteLength.
 HopCounts EnumerateHopCounts(const TilePlan& plan);
+
+/// Exact enumeration of Eq. 3 on an arbitrary topology: distances are the
+/// graph's DistanceSplit between the core and MC tiles' routers (d1 counts
+/// as horizontal, d2 as vertical; for the circulant they are s1/s2 steps).
+HopCounts EnumerateHopCounts(const Topology& topo, const TilePlan& plan);
+
+/// Idealized all-(ordered-)pairs average router distance on the topology,
+/// self-pairs included — the topology analogue of Eq. 3 with every tile a
+/// core and every tile an MC. Closed forms:
+///
+///   mesh        (w^2-1)/(3w) + (h^2-1)/(3h)
+///   torus       ring mean per dimension: k/4 (even k), (k^2-1)/(4k) (odd)
+///   cmesh       mesh closed form on the (w/2) x (h/2) router grid
+///   circulant   exact sum over the shortest-path step table (no closed
+///               form for general C(N; s1, s2))
+///
+/// Validated against brute-force enumeration of Topology::Distance in the
+/// tests; all four forms are exact.
+double IdealizedAverageDistance(const Topology& topo);
 
 /// Closed-form Table 1 entry. `exact` reports whether the closed form is an
 /// identity (bottom; top-bottom vertical) or an idealized approximation.

@@ -10,12 +10,51 @@ namespace gnoc {
 CoefficientMap::CoefficientMap(int width, int height)
     : width_(width),
       height_(height),
-      counts_(static_cast<std::size_t>(width * height * kNumPorts), 0) {}
+      num_routers_(width * height),
+      radix_(kNumPorts),
+      counts_(static_cast<std::size_t>(num_routers_ * radix_), 0) {}
+
+namespace {
+
+// Router-grid dimensions for RenderGrid and the Coord accessors: the tile
+// grid on mesh/torus, the concentrated grid on cmesh, a single row on the
+// circulant (whose routers have no 2D arrangement).
+Coord RouterGridOf(const Topology& topo) {
+  switch (topo.kind()) {
+    case TopologyKind::kCMesh:
+      return {topo.width() / 2, topo.height() / 2};
+    case TopologyKind::kCirculant:
+      return {topo.num_routers(), 1};
+    default:
+      return {topo.width(), topo.height()};
+  }
+}
+
+}  // namespace
+
+CoefficientMap::CoefficientMap(const Topology& topo)
+    : width_(RouterGridOf(topo).x),
+      height_(RouterGridOf(topo).y),
+      num_routers_(topo.num_routers()),
+      radix_(topo.radix()),
+      counts_(static_cast<std::size_t>(num_routers_ * radix_), 0) {}
+
+std::size_t CoefficientMap::Index(int router, int port) const {
+  assert(router >= 0 && router < num_routers_ && port >= 0 && port < radix_);
+  return static_cast<std::size_t>(router * radix_ + port);
+}
 
 std::size_t CoefficientMap::Index(Coord node, Port port) const {
   assert(node.x >= 0 && node.x < width_ && node.y >= 0 && node.y < height_);
-  return static_cast<std::size_t>((node.y * width_ + node.x) * kNumPorts +
-                                  PortIndex(port));
+  return Index(node.y * width_ + node.x, PortIndex(port));
+}
+
+int CoefficientMap::Count(int router, int port) const {
+  return counts_[Index(router, port)];
+}
+
+void CoefficientMap::Add(int router, int port, int delta) {
+  counts_[Index(router, port)] += delta;
 }
 
 int CoefficientMap::Count(Coord node, Port port) const {
@@ -47,10 +86,11 @@ std::string CoefficientMap::RenderGrid(Port port) const {
   return oss.str();
 }
 
-CoefficientMap ComputeLinkCoefficients(const TilePlan& plan,
+CoefficientMap ComputeLinkCoefficients(const Topology& topo,
+                                       const TilePlan& plan,
                                        RoutingAlgorithm routing,
                                        TrafficClass cls, bool idealized) {
-  CoefficientMap map(plan.width(), plan.height());
+  CoefficientMap map(topo);
   std::vector<NodeId> cores;
   if (idealized) {
     for (NodeId n = 0; n < plan.num_nodes(); ++n) cores.push_back(n);
@@ -59,25 +99,27 @@ CoefficientMap ComputeLinkCoefficients(const TilePlan& plan,
   }
   for (NodeId core : cores) {
     for (NodeId mc : plan.mc_nodes()) {
-      const Coord src = cls == TrafficClass::kRequest ? plan.CoordOf(core)
-                                                      : plan.CoordOf(mc);
-      const Coord dst = cls == TrafficClass::kRequest ? plan.CoordOf(mc)
-                                                      : plan.CoordOf(core);
-      Coord here = src;
-      while (here != dst) {
-        const Port out = ComputeOutputPort(routing, cls, here, dst);
-        map.Add(here, out);
-        switch (out) {
-          case Port::kEast: ++here.x; break;
-          case Port::kWest: --here.x; break;
-          case Port::kSouth: ++here.y; break;
-          case Port::kNorth: --here.y; break;
-          case Port::kLocal: assert(false); break;
-        }
+      const NodeId src = cls == TrafficClass::kRequest ? core : mc;
+      const NodeId dst = cls == TrafficClass::kRequest ? mc : core;
+      int here = topo.RouterOf(src);
+      const int dst_router = topo.RouterOf(dst);
+      while (here != dst_router) {
+        const RouteStep step = topo.Route(routing, cls, here, dst);
+        assert(step.port >= topo.num_local_ports());
+        map.Add(here, step.port);
+        here = topo.Peer(here, step.port);
+        assert(here >= 0);
       }
     }
   }
   return map;
+}
+
+CoefficientMap ComputeLinkCoefficients(const TilePlan& plan,
+                                       RoutingAlgorithm routing,
+                                       TrafficClass cls, bool idealized) {
+  return ComputeLinkCoefficients(Topology::Mesh(plan.width(), plan.height()),
+                                 plan, routing, cls, idealized);
 }
 
 int Eq2CoefficientSouth(int n, int i) { return n * i; }

@@ -212,7 +212,23 @@ void FlagSet::Validate(const Flag& flag, const std::string& value) const {
           if (!choices.empty()) choices += "|";
           choices += v;
         }
-        fail("'" + value + "' is not one of " + choices);
+        // Same did-you-mean policy as unknown flag names, applied to the
+        // value space: suggest the closest allowed value when plausible.
+        const std::string* best = nullptr;
+        std::size_t best_distance = 0;
+        for (const std::string& v : flag.enum_values) {
+          const std::size_t d = EditDistance(value, v);
+          if (best == nullptr || d < best_distance) {
+            best = &v;
+            best_distance = d;
+          }
+        }
+        std::string message = "'" + value + "' is not one of " + choices;
+        if (best != nullptr &&
+            best_distance <= std::max<std::size_t>(2, value.size() / 3)) {
+          message += "; did you mean '" + *best + "'?";
+        }
+        fail(message);
       }
       break;
     }

@@ -26,7 +26,7 @@
 namespace gnoc {
 
 /// Bumped whenever the serialized layout of any component changes.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// Thrown on any malformed snapshot: truncation, bad magic, version skew,
 /// fingerprint mismatch, CRC mismatch.

@@ -9,26 +9,40 @@ namespace gnoc {
 LinkUsage::LinkUsage(int width, int height)
     : width_(width),
       height_(height),
+      num_routers_(width * height),
+      radix_(kNumPorts),
+      num_local_ports_(1),
       usage_(static_cast<std::size_t>(width * height * kNumPorts), 0) {}
 
-std::size_t LinkUsage::Index(NodeId node, Port port) const {
-  assert(node >= 0 && node < width_ * height_);
-  return static_cast<std::size_t>(node) * kNumPorts +
+LinkUsage::LinkUsage(const Topology& topo)
+    : kind_(topo.kind()),
+      width_(topo.width()),
+      height_(topo.height()),
+      num_routers_(topo.num_routers()),
+      radix_(topo.radix()),
+      num_local_ports_(topo.num_local_ports()),
+      usage_(static_cast<std::size_t>(topo.num_routers() * topo.radix()), 0) {}
+
+std::size_t LinkUsage::Index(NodeId router, Port port) const {
+  assert(router >= 0 && router < num_routers_);
+  assert(PortIndex(port) < radix_);
+  return static_cast<std::size_t>(router) *
+             static_cast<std::size_t>(radix_) +
          static_cast<std::size_t>(PortIndex(port));
 }
 
-void LinkUsage::Mark(NodeId node, Port port, TrafficClass cls) {
-  usage_[Index(node, port)] |=
+void LinkUsage::Mark(NodeId router, Port port, TrafficClass cls) {
+  usage_[Index(router, port)] |=
       static_cast<std::uint8_t>(1u << ClassIndex(cls));
 }
 
-bool LinkUsage::Uses(NodeId node, Port port, TrafficClass cls) const {
-  return (usage_[Index(node, port)] &
+bool LinkUsage::Uses(NodeId router, Port port, TrafficClass cls) const {
+  return (usage_[Index(router, port)] &
           static_cast<std::uint8_t>(1u << ClassIndex(cls))) != 0;
 }
 
-bool LinkUsage::Mixed(NodeId node, Port port) const {
-  return usage_[Index(node, port)] == 0b11;
+bool LinkUsage::Mixed(NodeId router, Port port) const {
+  return usage_[Index(router, port)] == 0b11;
 }
 
 int LinkUsage::NumMixedLinks() const {
@@ -39,11 +53,19 @@ int LinkUsage::NumMixedLinks() const {
   return mixed;
 }
 
+bool LinkUsage::IsHorizontal(int port) const {
+  // The grid topologies wire the compass as N, E, S, W right after the
+  // local ports, so East/West sit at offsets 1 and 3. Circulant chords
+  // have no horizontal/vertical distinction (the XY-YX cycle argument
+  // does not apply), so no circulant link counts as horizontal.
+  if (kind_ == TopologyKind::kCirculant) return false;
+  return port == num_local_ports_ + 1 || port == num_local_ports_ + 3;
+}
+
 bool LinkUsage::MixedLinksAllHorizontal() const {
-  for (NodeId n = 0; n < width_ * height_; ++n) {
-    for (int p = 0; p < kNumPorts; ++p) {
-      const Port port = static_cast<Port>(p);
-      if (Mixed(n, port) && !IsHorizontalPort(port)) return false;
+  for (NodeId r = 0; r < num_routers_; ++r) {
+    for (int p = 0; p < radix_; ++p) {
+      if (Mixed(r, static_cast<Port>(p)) && !IsHorizontal(p)) return false;
     }
   }
   return true;
@@ -51,22 +73,21 @@ bool LinkUsage::MixedLinksAllHorizontal() const {
 
 namespace {
 
-/// Marks every link of the DOR route src->dst (including the injection link
-/// at src and the ejection link at dst) as used by `cls`.
-void MarkRoute(LinkUsage& usage, const TilePlan& plan, RoutingAlgorithm routing,
-               TrafficClass cls, Coord src, Coord dst) {
-  usage.Mark(plan.NodeAt(src), Port::kLocal, cls);  // injection link
-  Coord here = src;
-  while (here != dst) {
-    const Port out = ComputeOutputPort(routing, cls, here, dst);
-    usage.Mark(plan.NodeAt(here), out, cls);
-    switch (out) {
-      case Port::kEast: ++here.x; break;
-      case Port::kWest: --here.x; break;
-      case Port::kSouth: ++here.y; break;
-      case Port::kNorth: --here.y; break;
-      case Port::kLocal: assert(false); break;
-    }
+/// Marks every link of the route src->dst on the topology graph (including
+/// the injection link at src's local port) as used by `cls`.
+void MarkRoute(LinkUsage& usage, const Topology& topo,
+               RoutingAlgorithm routing, TrafficClass cls, NodeId src_tile,
+               NodeId dst_tile) {
+  int r = topo.RouterOf(src_tile);
+  usage.Mark(r, static_cast<Port>(topo.LocalPortOf(src_tile)),
+             cls);  // injection link
+  const int dst_router = topo.RouterOf(dst_tile);
+  while (r != dst_router) {
+    const RouteStep step = topo.Route(routing, cls, r, dst_tile);
+    assert(step.port >= topo.num_local_ports());
+    usage.Mark(r, static_cast<Port>(step.port), cls);
+    r = topo.Peer(r, step.port);
+    assert(r >= 0);
   }
   // Ejection is modelled by per-class NIC buffers, not by shared VCs, so it
   // is not a protocol-deadlock resource and is not marked.
@@ -74,17 +95,21 @@ void MarkRoute(LinkUsage& usage, const TilePlan& plan, RoutingAlgorithm routing,
 
 }  // namespace
 
-LinkUsage AnalyzeLinkUsage(const TilePlan& plan, RoutingAlgorithm routing) {
-  LinkUsage usage(plan.width(), plan.height());
+LinkUsage AnalyzeLinkUsage(const Topology& topo, const TilePlan& plan,
+                           RoutingAlgorithm routing) {
+  LinkUsage usage(topo);
   for (NodeId core : plan.core_nodes()) {
     for (NodeId mc : plan.mc_nodes()) {
-      MarkRoute(usage, plan, routing, TrafficClass::kRequest,
-                plan.CoordOf(core), plan.CoordOf(mc));
-      MarkRoute(usage, plan, routing, TrafficClass::kReply, plan.CoordOf(mc),
-                plan.CoordOf(core));
+      MarkRoute(usage, topo, routing, TrafficClass::kRequest, core, mc);
+      MarkRoute(usage, topo, routing, TrafficClass::kReply, mc, core);
     }
   }
   return usage;
+}
+
+LinkUsage AnalyzeLinkUsage(const TilePlan& plan, RoutingAlgorithm routing) {
+  return AnalyzeLinkUsage(Topology::Mesh(plan.width(), plan.height()), plan,
+                          routing);
 }
 
 VcPolicyKind SafetyReport::BestSafePolicy() const {
@@ -105,8 +130,9 @@ std::string SafetyReport::ToString() const {
   return oss.str();
 }
 
-SafetyReport AnalyzeSafety(const TilePlan& plan, RoutingAlgorithm routing) {
-  const LinkUsage usage = AnalyzeLinkUsage(plan, routing);
+SafetyReport AnalyzeSafety(const Topology& topo, const TilePlan& plan,
+                           RoutingAlgorithm routing) {
+  const LinkUsage usage = AnalyzeLinkUsage(topo, plan, routing);
   SafetyReport report;
   report.routing = routing;
   report.placement = plan.placement();
@@ -119,21 +145,52 @@ SafetyReport AnalyzeSafety(const TilePlan& plan, RoutingAlgorithm routing) {
   return report;
 }
 
-void ValidatePolicyOrThrow(const TilePlan& plan, RoutingAlgorithm routing,
-                           VcPolicyKind policy, bool allow_unsafe) {
+SafetyReport AnalyzeSafety(const TilePlan& plan, RoutingAlgorithm routing) {
+  return AnalyzeSafety(Topology::Mesh(plan.width(), plan.height()), plan,
+                       routing);
+}
+
+void ValidatePolicyOrThrow(const Topology& topo, const TilePlan& plan,
+                           RoutingAlgorithm routing, VcPolicyKind policy,
+                           bool allow_unsafe) {
+  if (topo.has_datelines()) {
+    // Dateline topologies split each class's VC range into pre-/post-wrap
+    // halves, so every class needs >= 2 VCs on every link it can use.
+    // kDynamic moves the request/reply boundary at runtime (a range can
+    // shrink to one VC) and the asymmetric request range is a single VC:
+    // both would break the dateline scheme, so they are rejected outright.
+    const char* why = nullptr;
+    if (policy == VcPolicyKind::kDynamic) {
+      why = "dynamic partitioning can shrink a class to one VC";
+    } else if (policy == VcPolicyKind::kAsymmetric) {
+      why = "the asymmetric request range is a single VC";
+    }
+    if (why != nullptr && !allow_unsafe) {
+      throw std::invalid_argument(
+          std::string("VC policy '") + VcPolicyName(policy) +
+          "' cannot provide dateline VC halves on a " +
+          TopologyName(topo.kind()) + ": " + why);
+    }
+  }
   if (policy != VcPolicyKind::kFullMonopolize) {
     // Split and asymmetric partition VCs disjointly everywhere; link-aware
     // partial monopolizing splits exactly the mixed links. All three are
     // protocol-deadlock free by construction.
     return;
   }
-  const SafetyReport report = AnalyzeSafety(plan, routing);
+  const SafetyReport report = AnalyzeSafety(topo, plan, routing);
   const bool safe = report.full_monopolize_safe;
   if (!safe && !allow_unsafe) {
     throw std::invalid_argument(
         std::string("VC policy '") + VcPolicyName(policy) +
         "' is not protocol-deadlock safe for " + report.ToString());
   }
+}
+
+void ValidatePolicyOrThrow(const TilePlan& plan, RoutingAlgorithm routing,
+                           VcPolicyKind policy, bool allow_unsafe) {
+  ValidatePolicyOrThrow(Topology::Mesh(plan.width(), plan.height()), plan,
+                        routing, policy, allow_unsafe);
 }
 
 }  // namespace gnoc

@@ -20,40 +20,55 @@
 #include "common/types.hpp"
 #include "noc/placement.hpp"
 #include "noc/routing.hpp"
+#include "noc/topology.hpp"
 #include "noc/vc_policy.hpp"
 
 namespace gnoc {
 
-/// Per-directed-link class usage. Links are identified by the upstream node
-/// and its output port.
+/// Per-directed-link class usage. Links are identified by the upstream
+/// router and its output port (local ports model the injection links).
 class LinkUsage {
  public:
+  /// Mesh shorthand: equivalent to LinkUsage(Topology::Mesh(width, height)).
   LinkUsage(int width, int height);
+  /// Sized for `topo`'s router/port table (the Topology itself is not
+  /// retained; LinkUsage stays value-semantic).
+  explicit LinkUsage(const Topology& topo);
 
   int width() const { return width_; }
   int height() const { return height_; }
+  int num_routers() const { return num_routers_; }
+  int radix() const { return radix_; }
+  int num_local_ports() const { return num_local_ports_; }
 
-  /// Marks that `cls` traffic uses the link leaving `node` through `port`.
-  void Mark(NodeId node, Port port, TrafficClass cls);
+  /// Marks that `cls` traffic uses the link leaving `router` through `port`.
+  void Mark(NodeId router, Port port, TrafficClass cls);
 
   /// True when `cls` uses the link.
-  bool Uses(NodeId node, Port port, TrafficClass cls) const;
+  bool Uses(NodeId router, Port port, TrafficClass cls) const;
 
   /// True when both classes use the link.
-  bool Mixed(NodeId node, Port port) const;
+  bool Mixed(NodeId router, Port port) const;
 
   /// Number of directed inter-router links used by both classes.
   int NumMixedLinks() const;
 
-  /// True when every mixed link is horizontal (the XY-YX situation).
+  /// True when every mixed link is horizontal (the XY-YX situation on the
+  /// grid topologies; circulants have no horizontal/vertical distinction,
+  /// so any mixed chord link returns false).
   bool MixedLinksAllHorizontal() const;
 
  private:
-  std::size_t Index(NodeId node, Port port) const;
+  std::size_t Index(NodeId router, Port port) const;
+  bool IsHorizontal(int port) const;
 
+  TopologyKind kind_ = TopologyKind::kMesh;
   int width_;
   int height_;
-  /// usage_[node * kNumPorts + port] bit c set => class c uses the link.
+  int num_routers_;
+  int radix_;
+  int num_local_ports_;
+  /// usage_[router * radix + port] bit c set => class c uses the link.
   std::vector<std::uint8_t> usage_;
 };
 
@@ -62,6 +77,12 @@ class LinkUsage {
 /// link carries the classes its endpoint sends (cores: requests, MCs:
 /// replies).
 LinkUsage AnalyzeLinkUsage(const TilePlan& plan, RoutingAlgorithm routing);
+
+/// Topology-aware overload: routes are walked on `topo`'s graph (wrap links,
+/// concentration and chords included). The mesh overload above is exactly
+/// AnalyzeLinkUsage(Topology::Mesh(plan.width(), plan.height()), ...).
+LinkUsage AnalyzeLinkUsage(const Topology& topo, const TilePlan& plan,
+                           RoutingAlgorithm routing);
 
 /// Result of the safety derivation for one (placement, routing) pair.
 struct SafetyReport {
@@ -84,11 +105,20 @@ struct SafetyReport {
 /// Derives which VC policies are protocol-deadlock safe for the pair.
 SafetyReport AnalyzeSafety(const TilePlan& plan, RoutingAlgorithm routing);
 
+/// Topology-aware overload of AnalyzeSafety.
+SafetyReport AnalyzeSafety(const Topology& topo, const TilePlan& plan,
+                           RoutingAlgorithm routing);
+
 /// Convenience guard: throws std::invalid_argument when `policy` is not
 /// provably safe for (plan, routing) and `allow_unsafe` is false. Used by
 /// the GPU system builder so misconfigurations fail fast instead of
 /// deadlocking mid-simulation.
 void ValidatePolicyOrThrow(const TilePlan& plan, RoutingAlgorithm routing,
                            VcPolicyKind policy, bool allow_unsafe);
+
+/// Topology-aware overload of ValidatePolicyOrThrow.
+void ValidatePolicyOrThrow(const Topology& topo, const TilePlan& plan,
+                           RoutingAlgorithm routing, VcPolicyKind policy,
+                           bool allow_unsafe);
 
 }  // namespace gnoc

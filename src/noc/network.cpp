@@ -33,25 +33,45 @@ SchedulingMode ParseSchedulingMode(const std::string& name) {
 
 namespace {
 
-/// The four inter-router directions (local links are handled separately).
-constexpr Port kMeshPorts[] = {Port::kNorth, Port::kEast, Port::kSouth,
-                               Port::kWest};
-
-Coord NeighbourOf(Coord c, Port p) {
-  switch (p) {
-    case Port::kNorth: return {c.x, c.y - 1};
-    case Port::kSouth: return {c.x, c.y + 1};
-    case Port::kEast: return {c.x + 1, c.y};
-    case Port::kWest: return {c.x - 1, c.y};
-    case Port::kLocal: break;
+/// Dateline topologies (torus, circulant) split every class's VC range into
+/// pre-/post-wrap halves, so each class needs >= 2 VCs on every link it can
+/// use — under every link mode the policy can assign. Policies that cannot
+/// guarantee that are rejected at construction (they would assert or
+/// deadlock at the first wrap crossing).
+void ValidateDatelineVcs(const NetworkConfig& config) {
+  if (config.vc_policy == VcPolicyKind::kDynamic) {
+    throw std::invalid_argument(
+        std::string("topology '") + TopologyName(config.topology) +
+        "' needs dateline VC halves; dynamic partitioning can shrink a "
+        "class to a single VC and is not supported");
   }
-  return c;
+  const VcPolicy policy(config.vc_policy, config.num_vcs);
+  for (int c = 0; c < kNumClasses; ++c) {
+    for (const LinkMode mode : {LinkMode::kMixed, LinkMode::kSingleClass}) {
+      const VcRange range = policy.AllowedVcs(static_cast<TrafficClass>(c),
+                                              Port::kNorth, mode);
+      if (range.size() < 2) {
+        throw std::invalid_argument(
+            std::string("topology '") + TopologyName(config.topology) +
+            "' needs dateline VC halves: policy '" +
+            VcPolicyName(config.vc_policy) + "' with num_vcs=" +
+            std::to_string(config.num_vcs) + " leaves " +
+            ClassName(static_cast<TrafficClass>(c)) +
+            " only " + std::to_string(range.size()) +
+            " VC(s) on some links (need >= 2; raise num_vcs)");
+      }
+    }
+  }
 }
 
 }  // namespace
 
-Network::Network(const NetworkConfig& config) : config_(config) {
+Network::Network(const NetworkConfig& config)
+    : config_(config),
+      topo_(Topology::Make(config.topology, config.width, config.height,
+                           config.circulant_s1, config.circulant_s2)) {
   assert(config.width >= 2 && config.height >= 2);
+  if (topo_.has_datelines()) ValidateDatelineVcs(config_);
   if (config_.audit) {
     auditor_ = std::make_unique<Auditor>(config_.audit_interval);
   }
@@ -64,11 +84,10 @@ Network::Network(const NetworkConfig& config) : config_(config) {
   rc.atomic_vc_realloc = config.atomic_vc_realloc;
   rc.dynamic_epoch = config.dynamic_epoch;
   rc.arbiter = config.arbiter;
-  // Mesh dimensions let every router precompute its (destination, class) ->
-  // output-port table instead of evaluating the routing function per head
-  // flit.
-  rc.mesh_width = config.width;
-  rc.mesh_height = config.height;
+  // The topology graph gives every router its port count and its
+  // (destination, class) -> output-port LUT, so the routing function is
+  // never evaluated per head flit.
+  rc.topology = &topo_;
 
   NicConfig nc;
   nc.num_vcs = config.num_vcs;
@@ -81,97 +100,100 @@ Network::Network(const NetworkConfig& config) : config_(config) {
   nc.dynamic_epoch = config.dynamic_epoch;
 
   const int n = num_nodes();
-  routers_.reserve(static_cast<std::size_t>(n));
+  const int num_routers = topo_.num_routers();
+  routers_.reserve(static_cast<std::size_t>(num_routers));
+  for (int r = 0; r < num_routers; ++r) {
+    routers_.push_back(
+        std::make_unique<Router>(r, topo_.RouterCoord(r), rc));
+    if (auditor_ != nullptr) routers_.back()->SetAuditor(auditor_.get());
+  }
   nics_.reserve(static_cast<std::size_t>(n));
-  for (NodeId id = 0; id < n; ++id) {
-    const Coord c = CoordOf(id);
-    routers_.push_back(std::make_unique<Router>(id, c, rc));
-    nics_.push_back(std::make_unique<Nic>(id, c, nc));
-    routers_.back()->SetNic(nics_.back().get());
-    if (auditor_ != nullptr) {
-      routers_.back()->SetAuditor(auditor_.get());
-      auditor_->RegisterNic(nics_.back().get());
-    }
+  for (NodeId tile = 0; tile < n; ++tile) {
+    nics_.push_back(std::make_unique<Nic>(tile, CoordOf(tile), nc));
+    routers_[static_cast<std::size_t>(topo_.RouterOf(tile))]->SetNic(
+        topo_.LocalPortOf(tile), nics_.back().get());
+    if (auditor_ != nullptr) auditor_->RegisterNic(nics_.back().get());
   }
 
-  // Inter-router links: one flit channel and one credit channel per directed
-  // link.
-  for (NodeId id = 0; id < n; ++id) {
-    const Coord c = CoordOf(id);
-    for (Port p : kMeshPorts) {
-      const Coord nb = NeighbourOf(c, p);
-      if (nb.x < 0 || nb.x >= config_.width || nb.y < 0 ||
-          nb.y >= config_.height) {
-        continue;  // mesh boundary
-      }
-      const NodeId nb_id = NodeAt(nb);
-      Router& src = *routers_[static_cast<std::size_t>(id)];
-      Router& dst = *routers_[static_cast<std::size_t>(nb_id)];
+  // Links, in the topology graph's canonical order: per router, its wired
+  // non-local ports ascending (N, E, S, W on the mesh — the seed order),
+  // then the injection links of its local ports. One flit channel and one
+  // credit channel per directed link.
+  for (int r = 0; r < num_routers; ++r) {
+    Router& src = *routers_[static_cast<std::size_t>(r)];
+    for (int p = topo_.num_local_ports(); p < topo_.radix(); ++p) {
+      if (!topo_.IsWired(r, p)) continue;  // unwired boundary port
+      const Port port = static_cast<Port>(p);
+      const Port peer_port = static_cast<Port>(topo_.PeerPort(r, p));
+      Router& dst = *routers_[static_cast<std::size_t>(topo_.Peer(r, p))];
 
       auto flit_link = std::make_unique<FlitLink>();
       flit_link->channel = FlitChannel(config_.link_latency);
       flit_link->dst_router = &dst;
-      flit_link->dst_port = OppositePort(p);
-      src.SetOutputChannel(p, &flit_link->channel);
+      flit_link->dst_port = peer_port;
+      src.SetOutputChannel(port, &flit_link->channel);
       flit_links_.push_back(std::move(flit_link));
 
       auto credit_link = std::make_unique<CreditLink>();
       credit_link->channel = CreditChannel(config_.link_latency);
       credit_link->dst_router = &src;
-      credit_link->dst_port = p;
-      dst.SetCreditReturnChannel(OppositePort(p), &credit_link->channel);
+      credit_link->dst_port = port;
+      dst.SetCreditReturnChannel(peer_port, &credit_link->channel);
 
       if (auditor_ != nullptr) {
         Auditor::Link al;
-        al.name = "r" + std::to_string(id) + "." + PortName(p);
+        al.name = "r" + std::to_string(r) + "." + topo_.PortLabel(p);
         al.num_vcs = config_.num_vcs;
         al.vc_depth = config_.vc_depth;
         al.flits = &flit_links_.back()->channel;
         al.credits = &credit_link->channel;
         al.src_router = &src;
-        al.src_port = p;
+        al.src_port = port;
         al.dst_router = &dst;
-        al.dst_port = OppositePort(p);
+        al.dst_port = peer_port;
         const int link_id = auditor_->RegisterLink(std::move(al));
-        src.SetAuditOutLink(p, link_id);
-        dst.SetAuditInLink(OppositePort(p), link_id);
+        src.SetAuditOutLink(port, link_id);
+        dst.SetAuditInLink(peer_port, link_id);
       }
       credit_links_.push_back(std::move(credit_link));
     }
 
-    // Injection link: NIC -> router local port, credits back to the NIC.
-    Router& router = *routers_[static_cast<std::size_t>(id)];
-    Nic& nic = *nics_[static_cast<std::size_t>(id)];
+    // Injection links: NIC -> router local port, credits back to the NIC.
+    for (int lp = 0; lp < topo_.num_local_ports(); ++lp) {
+      const NodeId tile = topo_.TileAt(r, lp);
+      const Port local_port = static_cast<Port>(lp);
+      Nic& nic = *nics_[static_cast<std::size_t>(tile)];
 
-    auto inj = std::make_unique<FlitLink>();
-    inj->channel = FlitChannel(config_.link_latency);
-    inj->dst_router = &router;
-    inj->dst_port = Port::kLocal;
-    nic.SetInjectionChannel(&inj->channel);
-    flit_links_.push_back(std::move(inj));
+      auto inj = std::make_unique<FlitLink>();
+      inj->channel = FlitChannel(config_.link_latency);
+      inj->dst_router = &src;
+      inj->dst_port = local_port;
+      nic.SetInjectionChannel(&inj->channel);
+      flit_links_.push_back(std::move(inj));
 
-    auto inj_credit = std::make_unique<CreditLink>();
-    inj_credit->channel = CreditChannel(config_.link_latency);
-    inj_credit->dst_nic = &nic;
-    router.SetCreditReturnChannel(Port::kLocal, &inj_credit->channel);
-    nic.SetCreditChannel(&inj_credit->channel);
+      auto inj_credit = std::make_unique<CreditLink>();
+      inj_credit->channel = CreditChannel(config_.link_latency);
+      inj_credit->dst_nic = &nic;
+      src.SetCreditReturnChannel(local_port, &inj_credit->channel);
+      nic.SetCreditChannel(&inj_credit->channel);
 
-    if (auditor_ != nullptr) {
-      Auditor::Link al;
-      al.name = "nic" + std::to_string(id) + ".inject";
-      al.num_vcs = config_.num_vcs;
-      al.vc_depth = config_.vc_depth;
-      al.injection = true;
-      al.flits = &flit_links_.back()->channel;
-      al.credits = &inj_credit->channel;
-      al.src_nic = &nic;
-      al.dst_router = &router;
-      al.dst_port = Port::kLocal;
-      const int link_id = auditor_->RegisterLink(std::move(al));
-      nic.SetAuditor(auditor_.get(), link_id);
-      router.SetAuditInLink(Port::kLocal, link_id);
+      if (auditor_ != nullptr) {
+        Auditor::Link al;
+        al.name = "nic" + std::to_string(tile) + ".inject";
+        al.num_vcs = config_.num_vcs;
+        al.vc_depth = config_.vc_depth;
+        al.injection = true;
+        al.flits = &flit_links_.back()->channel;
+        al.credits = &inj_credit->channel;
+        al.src_nic = &nic;
+        al.dst_router = &src;
+        al.dst_port = local_port;
+        const int link_id = auditor_->RegisterLink(std::move(al));
+        nic.SetAuditor(auditor_.get(), link_id);
+        src.SetAuditInLink(local_port, link_id);
+      }
+      credit_links_.push_back(std::move(inj_credit));
     }
-    credit_links_.push_back(std::move(inj_credit));
   }
 
   // Telemetry registers last: it inspects the wired topology (which output
@@ -197,12 +219,14 @@ Network::Network(const NetworkConfig& config) : config_(config) {
   // lists start empty — a fresh network is fully idle, and the first
   // injection wakes its NIC through Nic::Inject.
   if (config_.scheduling == SchedulingMode::kActiveSet) {
-    active_routers_.Resize(static_cast<std::size_t>(n));
-    active_nics_.Resize(static_cast<std::size_t>(n));
+    active_routers_.Resize(routers_.size());
+    active_nics_.Resize(nics_.size());
     active_flit_links_.Resize(flit_links_.size());
     active_credit_links_.Resize(credit_links_.size());
     for (std::size_t i = 0; i < routers_.size(); ++i) {
       routers_[i]->SetWakeHook({&ActiveSet::AddTo, &active_routers_, i});
+    }
+    for (std::size_t i = 0; i < nics_.size(); ++i) {
       nics_[i]->SetWakeHook({&ActiveSet::AddTo, &active_nics_, i});
     }
     for (std::size_t i = 0; i < flit_links_.size(); ++i) {
@@ -240,16 +264,17 @@ const Nic& Network::nic(NodeId n) const {
 void Network::SetSink(NodeId n, PacketSink* sink) { nic(n).SetSink(sink); }
 
 void Network::ConfigureLinkModes(const LinkUsage& usage) {
-  assert(usage.width() == config_.width && usage.height() == config_.height);
-  for (NodeId n = 0; n < num_nodes(); ++n) {
-    for (int p = 0; p < kNumPorts; ++p) {
+  assert(usage.num_routers() == topo_.num_routers() &&
+         usage.radix() == topo_.radix());
+  for (int r = 0; r < topo_.num_routers(); ++r) {
+    for (int p = 0; p < topo_.radix(); ++p) {
       const Port port = static_cast<Port>(p);
       const LinkMode mode =
-          usage.Mixed(n, port) ? LinkMode::kMixed : LinkMode::kSingleClass;
-      if (port == Port::kLocal) {
-        nic(n).SetLinkMode(mode);
+          usage.Mixed(r, port) ? LinkMode::kMixed : LinkMode::kSingleClass;
+      if (p < topo_.num_local_ports()) {
+        nic(topo_.TileAt(r, p)).SetLinkMode(mode);
       } else {
-        router(n).SetLinkMode(port, mode);
+        router(r).SetLinkMode(port, mode);
       }
     }
   }

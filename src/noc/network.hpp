@@ -1,5 +1,7 @@
-// The assembled 2D-mesh network: routers, NICs and the delay-line channels
-// connecting them, plus aggregate statistics and a deadlock watchdog.
+// The assembled network: routers, NICs and the delay-line channels
+// connecting them, plus aggregate statistics and a deadlock watchdog. The
+// wiring comes from a Topology graph (noc/topology.hpp): the paper's 2D
+// mesh by default, or a torus, concentrated mesh or ring circulant.
 //
 // The Network is placement-agnostic: it transports packets between any two
 // tiles. Which tiles host SMs vs MCs is decided by the layer above (see
@@ -19,6 +21,7 @@
 #include "noc/packet.hpp"
 #include "noc/router.hpp"
 #include "noc/telemetry.hpp"
+#include "noc/topology.hpp"
 
 namespace gnoc {
 
@@ -45,8 +48,15 @@ SchedulingMode ParseSchedulingMode(const std::string& name);
 
 /// Full network configuration.
 struct NetworkConfig {
+  /// Topology family; width x height stays the *tile* grid on every
+  /// topology (cmesh concentrates 2x2 tile blocks onto one router,
+  /// circulant rings the row-major tile order).
+  TopologyKind topology = TopologyKind::kMesh;
   int width = 8;
   int height = 8;
+  /// Circulant chord steps (kCirculant only); s2 == 0 picks near-sqrt(N).
+  int circulant_s1 = 1;
+  int circulant_s2 = 0;
   int num_vcs = 2;
   int vc_depth = 4;
   RoutingAlgorithm routing = RoutingAlgorithm::kXY;
@@ -117,13 +127,20 @@ class Network {
   const NetworkConfig& config() const { return config_; }
   int width() const { return config_.width; }
   int height() const { return config_.height; }
+  /// Tiles (NIC endpoints); the router count is topology().num_routers().
   int num_nodes() const { return config_.width * config_.height; }
+  int num_routers() const { return static_cast<int>(routers_.size()); }
+
+  /// The connection graph the network was wired from.
+  const Topology& topology() const { return topo_; }
 
   NodeId NodeAt(Coord c) const;
   Coord CoordOf(NodeId n) const;
 
+  /// Router by *router* index (== tile id except on cmesh).
   Router& router(NodeId n);
   const Router& router(NodeId n) const;
+  /// NIC by *tile* id.
   Nic& nic(NodeId n);
   const Nic& nic(NodeId n) const;
 
@@ -271,6 +288,7 @@ class Network {
   void CheckSchedulerCoverage();
 
   NetworkConfig config_;
+  Topology topo_;  ///< declared before the routers that point into it
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<std::unique_ptr<FlitLink>> flit_links_;

@@ -9,6 +9,19 @@
 
 namespace gnoc {
 
+namespace {
+
+/// The dateline restriction of a class's VC range: half 0 is the lower
+/// (pre-wrap) half, half 1 the upper (post-wrap) half. Needs size >= 2 —
+/// the Network validates that for every dateline topology at construction.
+VcRange DatelineHalf(VcRange range, std::int8_t half) {
+  assert(range.size() >= 2 && "dateline topologies need >= 2 VCs per class");
+  const VcId mid = range.begin + range.size() / 2;
+  return half == 0 ? VcRange{range.begin, mid} : VcRange{mid, range.end};
+}
+
+}  // namespace
+
 Router::Router(NodeId node, Coord coord, const RouterConfig& config)
     : node_(node),
       coord_(coord),
@@ -16,22 +29,46 @@ Router::Router(NodeId node, Coord coord, const RouterConfig& config)
       policy_(config.vc_policy, config.num_vcs) {
   assert(config.num_vcs >= 1);
   assert(config.vc_depth >= 1);
+  const Topology* topo = config_.topology;
+  num_ports_ = topo != nullptr ? topo->radix() : kNumPorts;
+  num_local_ports_ = topo != nullptr ? topo->num_local_ports() : 1;
   const auto total_vcs =
-      static_cast<std::size_t>(kNumPorts * config_.num_vcs);
+      static_cast<std::size_t>(num_ports_ * config_.num_vcs);
   input_vcs_.reserve(total_vcs);
   for (std::size_t i = 0; i < total_vcs; ++i) {
     input_vcs_.emplace_back(config_.vc_depth);
   }
   output_vcs_.resize(total_vcs);
+  out_channels_.assign(static_cast<std::size_t>(num_ports_), nullptr);
+  credit_return_.assign(static_cast<std::size_t>(num_ports_), nullptr);
+  link_modes_.assign(static_cast<std::size_t>(num_ports_), LinkMode::kMixed);
+  nics_.assign(static_cast<std::size_t>(num_local_ports_), nullptr);
   // Both ends of every link must seed the same dynamic boundary — the NIC
   // uses the same helper for its injection link.
-  boundaries_.fill(InitialBoundary(config_.num_vcs));
+  boundaries_.assign(static_cast<std::size_t>(num_ports_),
+                     InitialBoundary(config_.num_vcs));
+  epoch_flits_.assign(static_cast<std::size_t>(num_ports_), {});
   next_boundary_update_ = config_.dynamic_epoch;
+  stats_.flits_out.assign(static_cast<std::size_t>(num_ports_), {});
   stats_.credit_stall_by_vc.assign(static_cast<std::size_t>(config_.num_vcs),
                                    0);
-  audit_out_.fill(-1);
-  audit_in_.fill(-1);
-  if (config_.mesh_width > 0 && config_.mesh_height > 0) {
+  audit_out_.assign(static_cast<std::size_t>(num_ports_), -1);
+  audit_in_.assign(static_cast<std::size_t>(num_ports_), -1);
+  if (topo != nullptr) {
+    lut_width_ = topo->width();
+    const int tiles = topo->num_tiles();
+    route_lut_.reserve(static_cast<std::size_t>(tiles * kNumClasses));
+    route_half_.reserve(static_cast<std::size_t>(tiles * kNumClasses));
+    for (NodeId dst = 0; dst < tiles; ++dst) {
+      for (int c = 0; c < kNumClasses; ++c) {
+        const RouteStep step = topo->Route(
+            config_.routing, static_cast<TrafficClass>(c), node_, dst);
+        route_lut_.push_back(static_cast<Port>(step.port));
+        route_half_.push_back(step.vc_half);
+      }
+    }
+  } else if (config_.mesh_width > 0 && config_.mesh_height > 0) {
+    lut_width_ = config_.mesh_width;
     route_lut_.reserve(static_cast<std::size_t>(
         config_.mesh_width * config_.mesh_height * kNumClasses));
     for (int y = 0; y < config_.mesh_height; ++y) {
@@ -43,13 +80,15 @@ Router::Router(NodeId node, Coord coord, const RouterConfig& config)
         }
       }
     }
+    // Standalone mesh routers never restrict VC halves.
+    route_half_.assign(route_lut_.size(), -1);
   }
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < num_ports_; ++p) {
     va_arb_.push_back(MakeArbiter(config_.arbiter, total_vcs));
     sa_input_arb_.push_back(
         MakeArbiter(config_.arbiter, static_cast<std::size_t>(config_.num_vcs)));
     sa_output_arb_.push_back(
-        MakeArbiter(config_.arbiter, static_cast<std::size_t>(kNumPorts)));
+        MakeArbiter(config_.arbiter, static_cast<std::size_t>(num_ports_)));
   }
 }
 
@@ -67,7 +106,11 @@ void Router::SetCreditReturnChannel(Port in_port, CreditChannel* channel) {
   credit_return_[static_cast<std::size_t>(PortIndex(in_port))] = channel;
 }
 
-void Router::SetNic(Nic* nic) { nic_ = nic; }
+void Router::SetNic(Nic* nic) { nics_[0] = nic; }
+
+void Router::SetNic(int local_port, Nic* nic) {
+  nics_[static_cast<std::size_t>(local_port)] = nic;
+}
 
 void Router::SetLinkMode(Port out_port, LinkMode mode) {
   link_modes_[static_cast<std::size_t>(PortIndex(out_port))] = mode;
@@ -125,7 +168,7 @@ VcRange Router::AllowedRange(TrafficClass cls, Port out_port) const {
 }
 
 void Router::UpdateDynamicBoundaries() {
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < num_ports_; ++p) {
     auto& counts = epoch_flits_[static_cast<std::size_t>(p)];
     const std::uint64_t req = counts[ClassIndex(TrafficClass::kRequest)];
     const std::uint64_t rep = counts[ClassIndex(TrafficClass::kReply)];
@@ -154,7 +197,7 @@ VcId Router::DynamicBoundary(Port out_port) const {
 }
 
 void Router::RecycleOutputVcs() {
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < num_ports_; ++p) {
     const Port port = static_cast<Port>(p);
     if (out_channels_[static_cast<std::size_t>(p)] == nullptr) continue;
     for (VcId v = 0; v < config_.num_vcs; ++v) {
@@ -171,7 +214,7 @@ void Router::RecycleOutputVcs() {
 void Router::RouteAndAllocate(Cycle now) {
   // --- RC: compute the output port for input VCs whose front flit is a
   // head and whose current packet has no route yet.
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < num_ports_; ++p) {
     for (VcId v = 0; v < config_.num_vcs; ++v) {
       InputVc& ivc = Ivc(static_cast<Port>(p), v);
       if (ivc.route_valid || !FrontEligible(ivc, now)) continue;
@@ -179,8 +222,9 @@ void Router::RouteAndAllocate(Cycle now) {
       assert(IsHead(front) &&
              "non-head flit at front of an unrouted VC: wormhole broken");
       ivc.out_port = RouteFor(front.cls, front.dst_coord);
+      ivc.vc_half = RouteHalfFor(front.cls, front.dst_coord);
       ivc.route_valid = true;
-      ivc.eject = (ivc.out_port == Port::kLocal);
+      ivc.eject = PortIndex(ivc.out_port) < num_local_ports_;
       ivc.out_vc = kInvalidVc;
     }
   }
@@ -188,15 +232,16 @@ void Router::RouteAndAllocate(Cycle now) {
   // --- VA: allocate a downstream VC per output port, round-robin over
   // requesting input VCs. Ejection needs no VC (the NIC reassembles per
   // class), so local-bound packets skip VA.
-  const auto total_vcs = static_cast<std::size_t>(kNumPorts * config_.num_vcs);
-  for (int op = 0; op < kNumPorts; ++op) {
+  const auto total_vcs =
+      static_cast<std::size_t>(num_ports_ * config_.num_vcs);
+  for (int op = 0; op < num_ports_; ++op) {
     const Port out_port = static_cast<Port>(op);
-    if (out_port == Port::kLocal) continue;
+    if (op < num_local_ports_) continue;
     if (out_channels_[static_cast<std::size_t>(op)] == nullptr) continue;
 
     std::vector<bool> requests(total_vcs, false);
     int num_requests = 0;
-    for (int p = 0; p < kNumPorts; ++p) {
+    for (int p = 0; p < num_ports_; ++p) {
       for (VcId v = 0; v < config_.num_vcs; ++v) {
         const InputVc& ivc = Ivc(static_cast<Port>(p), v);
         if (ivc.route_valid && !ivc.eject && ivc.out_vc == kInvalidVc &&
@@ -214,7 +259,8 @@ void Router::RouteAndAllocate(Cycle now) {
       --num_requests;
       InputVc& ivc = input_vcs_[static_cast<std::size_t>(winner)];
       const TrafficClass cls = ivc.buffer.Front().cls;
-      const VcRange range = AllowedRange(cls, out_port);
+      VcRange range = AllowedRange(cls, out_port);
+      if (ivc.vc_half >= 0) range = DatelineHalf(range, ivc.vc_half);
       VcId granted = kInvalidVc;
       for (VcId v = range.begin; v < range.end; ++v) {
         if (!Ovc(out_port, v).allocated) {
@@ -234,9 +280,9 @@ void Router::RouteAndAllocate(Cycle now) {
 
 void Router::SwitchAllocateAndTraverse(Cycle now) {
   // --- SA phase 1: each input port nominates one of its VCs.
-  std::array<int, kNumPorts> nominee{};  // VC id per input port, -1 = none
-  nominee.fill(-1);
-  for (int p = 0; p < kNumPorts; ++p) {
+  std::vector<int> nominee(static_cast<std::size_t>(num_ports_),
+                           -1);  // VC id per input port, -1 = none
+  for (int p = 0; p < num_ports_; ++p) {
     std::vector<bool> requests(static_cast<std::size_t>(config_.num_vcs),
                                false);
     bool any = false;
@@ -246,7 +292,8 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
       const TrafficClass cls = ivc.buffer.Front().cls;
       bool resource_ok = false;
       if (ivc.eject) {
-        resource_ok = nic_ != nullptr && nic_->CanAcceptEjection(cls);
+        Nic* nic = nics_[static_cast<std::size_t>(PortIndex(ivc.out_port))];
+        resource_ok = nic != nullptr && nic->CanAcceptEjection(cls);
       } else if (ivc.out_vc != kInvalidVc) {
         resource_ok = Ovc(ivc.out_port, ivc.out_vc).credits > 0;
       }
@@ -269,12 +316,12 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
   }
 
   // --- SA phase 2: each output port grants one input port.
-  std::array<int, kNumPorts> grant{};  // input port per output port, -1=none
-  grant.fill(-1);
-  for (int op = 0; op < kNumPorts; ++op) {
-    std::vector<bool> requests(kNumPorts, false);
+  std::vector<int> grant(static_cast<std::size_t>(num_ports_),
+                         -1);  // input port per output port, -1 = none
+  for (int op = 0; op < num_ports_; ++op) {
+    std::vector<bool> requests(static_cast<std::size_t>(num_ports_), false);
     bool any = false;
-    for (int p = 0; p < kNumPorts; ++p) {
+    for (int p = 0; p < num_ports_; ++p) {
       const int v = nominee[static_cast<std::size_t>(p)];
       if (v < 0) continue;
       const InputVc& ivc = Ivc(static_cast<Port>(p), v);
@@ -291,7 +338,7 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
 
   // --- ST: winners traverse the switch.
   bool any_traversal = false;
-  for (int op = 0; op < kNumPorts; ++op) {
+  for (int op = 0; op < num_ports_; ++op) {
     const int p = grant[static_cast<std::size_t>(op)];
     if (p < 0) continue;
     const int v = nominee[static_cast<std::size_t>(p)];
@@ -313,9 +360,10 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
     }
 
     const Port out_port = static_cast<Port>(op);
-    if (out_port == Port::kLocal) {
-      assert(nic_ != nullptr);
-      nic_->AcceptEjectedFlit(flit, now);
+    if (op < num_local_ports_) {
+      Nic* nic = nics_[static_cast<std::size_t>(op)];
+      assert(nic != nullptr);
+      nic->AcceptEjectedFlit(flit, now);
       if (auditor_ != nullptr) auditor_->OnFlitEjected(flit, now);
     } else {
       OutputVc& ovc = Ovc(out_port, ivc.out_vc);
@@ -336,6 +384,7 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
       ivc.route_valid = false;
       ivc.out_vc = kInvalidVc;
       ivc.eject = false;
+      ivc.vc_half = -1;
     }
   }
   if (any_traversal) ++stats_.busy_cycles;
@@ -343,6 +392,7 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
 
 void Router::ResetStats() {
   stats_ = RouterStats{};
+  stats_.flits_out.assign(static_cast<std::size_t>(num_ports_), {});
   stats_.credit_stall_by_vc.assign(static_cast<std::size_t>(config_.num_vcs),
                                    0);
 }
@@ -377,6 +427,7 @@ void Router::Save(Serializer& s) const {
     s.U8(static_cast<std::uint8_t>(ivc.out_port));
     s.I32(ivc.out_vc);
     s.Bool(ivc.eject);
+    s.U8(static_cast<std::uint8_t>(ivc.vc_half));
   }
   for (const OutputVc& ovc : output_vcs_) {
     s.Bool(ovc.allocated);
@@ -410,6 +461,7 @@ void Router::Load(Deserializer& d) {
     ivc.out_port = static_cast<Port>(d.U8());
     ivc.out_vc = d.I32();
     ivc.eject = d.Bool();
+    ivc.vc_half = static_cast<std::int8_t>(d.U8());
   }
   for (OutputVc& ovc : output_vcs_) {
     ovc.allocated = d.Bool();

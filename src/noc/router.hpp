@@ -1,4 +1,4 @@
-// Five-port virtual-channel wormhole router (paper Sec. 2.2).
+// Virtual-channel wormhole router (paper Sec. 2.2).
 //
 // Pipeline model: an arriving flit is buffered in its input VC and becomes
 // eligible one cycle later, modelling the RC/VA/SA stage; switch traversal
@@ -10,6 +10,12 @@
 // Flow control is credit-based: the router tracks, per output VC, how many
 // buffer slots remain in the downstream input VC, and returns a credit
 // upstream whenever a flit leaves one of its own input buffers.
+//
+// The port count is the topology's radix (5 for the paper's mesh: local +
+// N/E/S/W; 8 for the concentrated mesh: 4 locals + compass). Ports
+// [0, num_local_ports) eject into the attached NICs; the rest carry
+// inter-router links. On topologies with wrap links (torus, circulant) the
+// route LUT also carries the dateline VC half each hop must allocate from.
 #pragma once
 
 #include <array>
@@ -23,6 +29,7 @@
 #include "noc/buffer.hpp"
 #include "noc/channel.hpp"
 #include "noc/routing.hpp"
+#include "noc/topology.hpp"
 #include "noc/vc_policy.hpp"
 
 namespace gnoc {
@@ -47,19 +54,23 @@ struct RouterConfig {
   Cycle dynamic_epoch = 512;
   /// Arbiter microarchitecture used by the VA and SA stages.
   ArbiterKind arbiter = ArbiterKind::kRoundRobin;
-  /// Mesh dimensions, when the router lives in a mesh network. Non-zero
-  /// dimensions let the router precompute a per-(destination, class) route
-  /// lookup table at construction instead of running the routing function
-  /// per head flit; 0 (standalone routers in unit tests) falls back to
-  /// ComputeOutputPort.
+  /// The topology graph, when the router lives in a Network: drives the
+  /// port count, the local-port count and the per-(destination, class)
+  /// route LUT (the router's node id is its index in the topology).
+  /// nullptr falls back to a standalone 5-port mesh router.
+  const Topology* topology = nullptr;
+  /// Mesh dimensions for standalone routers (unit tests) without a
+  /// topology: non-zero dimensions precompute a mesh route LUT; 0 falls
+  /// back to ComputeOutputPort per head flit.
   int mesh_width = 0;
   int mesh_height = 0;
 };
 
 /// Per-router counters, exposed for link-utilization analysis (Fig. 4/6).
 struct RouterStats {
-  /// Flits sent through each output port, by traffic class.
-  std::array<std::array<std::uint64_t, kNumClasses>, kNumPorts> flits_out{};
+  /// Flits sent through each output port, by traffic class. Sized by the
+  /// router's port count.
+  std::vector<std::array<std::uint64_t, kNumClasses>> flits_out;
   /// Cycles in which at least one flit traversed the switch.
   std::uint64_t busy_cycles = 0;
   /// Total switch traversals.
@@ -76,7 +87,7 @@ struct RouterStats {
   std::uint64_t buffered_flit_cycles = 0;
 };
 
-/// One mesh router. Wiring (channels, NIC) is injected by the Network.
+/// One router. Wiring (channels, NICs) is injected by the Network.
 class Router {
  public:
   Router(NodeId node, Coord coord, const RouterConfig& config);
@@ -84,6 +95,11 @@ class Router {
   NodeId node() const { return node_; }
   Coord coord() const { return coord_; }
   const RouterConfig& config() const { return config_; }
+
+  /// Ports on this router (the topology's radix; 5 standalone).
+  int num_ports() const { return num_ports_; }
+  /// Ports [0, num_local_ports) eject into NICs (1 except cmesh).
+  int num_local_ports() const { return num_local_ports_; }
 
   // --- wiring (called once by Network) ---
 
@@ -94,8 +110,11 @@ class Router {
   /// input port `in_port`.
   void SetCreditReturnChannel(Port in_port, CreditChannel* channel);
 
-  /// The NIC attached to the local port (ejection target).
+  /// The NIC attached to local port 0 (ejection target).
   void SetNic(Nic* nic);
+
+  /// The NIC attached to local port `local_port` (cmesh has 4).
+  void SetNic(int local_port, Nic* nic);
 
   /// Sets the statically analyzed class usage of the link leaving through
   /// `out_port` (consumed by link-aware partial monopolizing). Defaults to
@@ -144,7 +163,7 @@ class Router {
   void ResetStats();
 
   /// True when `out_port` is wired to a downstream channel. False on mesh
-  /// boundaries and for kLocal, which ejects directly into the NIC.
+  /// boundaries and for local ports, which eject directly into the NICs.
   bool HasOutputChannel(Port out_port) const {
     return out_channels_[static_cast<std::size_t>(PortIndex(out_port))] !=
            nullptr;
@@ -165,14 +184,20 @@ class Router {
   }
 
   /// The output port a packet of class `cls` headed for `dst` takes here
-  /// (LUT when mesh dimensions are known, ComputeOutputPort otherwise).
+  /// (LUT when the topology or mesh dimensions are known, ComputeOutputPort
+  /// otherwise).
   Port RouteFor(TrafficClass cls, Coord dst) const {
     if (route_lut_.empty()) {
       return ComputeOutputPort(config_.routing, cls, coord_, dst);
     }
-    const std::size_t idx = static_cast<std::size_t>(
-        (dst.y * config_.mesh_width + dst.x) * kNumClasses + ClassIndex(cls));
-    return route_lut_[idx];
+    return route_lut_[LutIndex(cls, dst)];
+  }
+
+  /// The dateline VC half the hop for (`cls`, `dst`) must allocate from
+  /// (-1 = unrestricted; only torus/circulant restrict).
+  std::int8_t RouteHalfFor(TrafficClass cls, Coord dst) const {
+    if (route_half_.empty()) return -1;
+    return route_half_[LutIndex(cls, dst)];
   }
 
   /// Occupancy of one input VC (for tests and invariant checks).
@@ -195,7 +220,7 @@ class Router {
 
   /// Snapshot support (DESIGN.md §10): all mutable per-cycle state — input
   /// and output VCs, dynamic-boundary state, arbiter priorities, stats.
-  /// Wiring (channels, NIC, auditor, hooks) and the route LUT are
+  /// Wiring (channels, NICs, auditor, hooks) and the route LUT are
   /// construction-derived and not serialized; Load requires a Router built
   /// from the identical config.
   void Save(Serializer& s) const;
@@ -209,7 +234,8 @@ class Router {
     bool route_valid = false;     ///< out_port computed for current packet
     Port out_port = Port::kLocal;
     VcId out_vc = kInvalidVc;     ///< allocated downstream VC (non-local)
-    bool eject = false;           ///< current packet leaves via local port
+    bool eject = false;           ///< current packet leaves via a local port
+    std::int8_t vc_half = -1;     ///< dateline half constraint for VA
   };
 
   /// Book-keeping for one downstream input VC.
@@ -229,6 +255,11 @@ class Router {
   /// Moves each port's dynamic boundary one step towards the traffic share
   /// observed in the finished epoch, then starts a new epoch.
   void UpdateDynamicBoundaries();
+
+  std::size_t LutIndex(TrafficClass cls, Coord dst) const {
+    return static_cast<std::size_t>(
+        (dst.y * lut_width_ + dst.x) * kNumClasses + ClassIndex(cls));
+  }
 
   int FlatVcIndex(Port port, VcId vc) const {
     return PortIndex(port) * config_.num_vcs + vc;
@@ -257,30 +288,35 @@ class Router {
   Coord coord_;
   RouterConfig config_;
   VcPolicy policy_;
+  int num_ports_ = kNumPorts;
+  int num_local_ports_ = 1;
+  int lut_width_ = 0;
 
   std::vector<InputVc> input_vcs_;    // [port][vc] flattened
   std::vector<OutputVc> output_vcs_;  // [port][vc] flattened
 
-  std::array<FlitChannel*, kNumPorts> out_channels_{};
-  std::array<CreditChannel*, kNumPorts> credit_return_{};
-  std::array<LinkMode, kNumPorts> link_modes_{};  // default kMixed
-  Nic* nic_ = nullptr;
+  std::vector<FlitChannel*> out_channels_;    // sized num_ports_
+  std::vector<CreditChannel*> credit_return_;
+  std::vector<LinkMode> link_modes_;          // default kMixed
+  std::vector<Nic*> nics_;                    // sized num_local_ports_
 
   Auditor* auditor_ = nullptr;
-  std::array<int, kNumPorts> audit_out_{};  // audit link ids, -1 = none
-  std::array<int, kNumPorts> audit_in_{};
+  std::vector<int> audit_out_;  // audit link ids, -1 = none
+  std::vector<int> audit_in_;
 
   WakeHook wake_;
   std::uint64_t* progress_sink_ = nullptr;
 
-  /// Per-(destination node, class) output ports, precomputed when the mesh
-  /// dimensions are known; empty = compute per head flit.
+  /// Per-(destination node, class) output ports and dateline VC halves,
+  /// precomputed when the topology (or, standalone, the mesh dimensions)
+  /// is known; empty = compute per head flit.
   std::vector<Port> route_lut_;
+  std::vector<std::int8_t> route_half_;
 
   // Dynamic-partitioning state: per-port boundary and per-epoch flit
   // counters by class.
-  std::array<VcId, kNumPorts> boundaries_{};
-  std::array<std::array<std::uint64_t, kNumClasses>, kNumPorts> epoch_flits_{};
+  std::vector<VcId> boundaries_;
+  std::vector<std::array<std::uint64_t, kNumClasses>> epoch_flits_;
   bool epoch_dirty_ = false;  ///< any epoch_flits_ entry nonzero
   Cycle next_boundary_update_ = 0;
 

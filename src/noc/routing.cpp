@@ -61,6 +61,7 @@ std::vector<Coord> TraceRoute(RoutingAlgorithm algo, TrafficClass cls,
   return path;
 }
 
-int RouteLength(Coord src, Coord dst) { return ManhattanDistance(src, dst); }
+// RouteLength is defined in topology.cpp: it shares the topology graph's
+// one mesh-distance implementation with the analytic hop-count model.
 
 }  // namespace gnoc

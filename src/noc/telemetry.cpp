@@ -256,16 +256,22 @@ void Telemetry::RegisterRouter(const Router* router) {
   const NodeId n = router->node();
   const std::string rname = "r" + std::to_string(n);
 
-  st.busy_track.assign(kNumPorts, -1);
-  st.prev_flits_out.assign(kNumPorts, 0);
-  for (int p = 0; p < kNumPorts; ++p) {
+  const int num_ports = router->num_ports();
+  const Topology* topo = router->config().topology;
+  st.busy_track.assign(static_cast<std::size_t>(num_ports), -1);
+  st.prev_flits_out.assign(static_cast<std::size_t>(num_ports), 0);
+  for (int p = 0; p < num_ports; ++p) {
     const Port port = static_cast<Port>(p);
-    // kLocal is the ejection path (always present); other ports only exist
-    // when wired to a downstream channel (mesh boundary ports are not).
-    if (port != Port::kLocal && !router->HasOutputChannel(port)) continue;
+    // Local ports are the ejection paths (always present); other ports only
+    // exist when wired to a downstream channel (mesh boundary ports are
+    // not). Labels come from the topology graph (PortName on a mesh).
+    if (p >= router->num_local_ports() && !router->HasOutputChannel(port)) {
+      continue;
+    }
     TelemetryTrack t;
     t.metric = "link_busy";
-    t.entity = rname + "." + PortName(port);
+    t.entity =
+        rname + "." + (topo != nullptr ? topo->PortLabel(p) : PortName(port));
     t.node = n;
     t.port = port;
     st.busy_track[static_cast<std::size_t>(p)] = AddTrack(std::move(t));
@@ -340,8 +346,7 @@ void Telemetry::AccumulateSpan(Cycle now,
   const double span = static_cast<double>(now - window_open_);
   for (const RouterState& st : routers_) {
     const RouterStats& rs = st.router->stats();
-    for (int p = 0; p < kNumPorts; ++p) {
-      const auto pi = static_cast<std::size_t>(p);
+    for (std::size_t pi = 0; pi < st.busy_track.size(); ++pi) {
       const int ti = st.busy_track[pi];
       if (ti < 0) continue;
       std::uint64_t total = 0;
@@ -366,7 +371,7 @@ void Telemetry::AccumulateSpan(Cycle now,
       // (piecewise-constant), so sums stay exact under downsampling and
       // value / window_cycles is the time-weighted mean.
       std::size_t occ = 0;
-      for (int p = 0; p < kNumPorts; ++p) {
+      for (int p = 0; p < st.router->num_ports(); ++p) {
         occ += st.router->VcOccupancy(static_cast<Port>(p),
                                       static_cast<VcId>(v));
       }
@@ -404,8 +409,7 @@ void Telemetry::AccumulateSpan(Cycle now,
 void Telemetry::CommitBaselines() {
   for (RouterState& st : routers_) {
     const RouterStats& rs = st.router->stats();
-    for (int p = 0; p < kNumPorts; ++p) {
-      const auto pi = static_cast<std::size_t>(p);
+    for (std::size_t pi = 0; pi < st.prev_flits_out.size(); ++pi) {
       std::uint64_t total = 0;
       for (int c = 0; c < kNumClasses; ++c) {
         total += rs.flits_out[pi][static_cast<std::size_t>(c)];

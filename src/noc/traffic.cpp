@@ -59,10 +59,10 @@ NodeId DeterministicDestination(TrafficPattern pattern, NodeId src, int width,
   NodeId dst;
   switch (pattern) {
     case TrafficPattern::kTranspose: {
-      // (x,y) -> (y,x) needs a square mesh; elsewhere fall back to the
-      // mirror permutation, which preserves the "far corner" character.
-      dst = width == height ? static_cast<NodeId>(x * width + y)
-                            : static_cast<NodeId>(n - 1 - src);
+      // Matrix transpose of the w x h grid: (x,y) -> row x of the
+      // transposed (h x w) grid, column y. Bijective for any dimensions
+      // and reduces to the classic (x,y) -> (y,x) on square grids.
+      dst = static_cast<NodeId>(x * height + y);
       break;
     }
     case TrafficPattern::kBitReverse: {
@@ -99,9 +99,21 @@ NodeId DeterministicDestination(TrafficPattern pattern, NodeId src, int width,
         dst = static_cast<NodeId>(((src << 1) | (src >> (bits - 1))) &
                                   ((1 << bits) - 1));
       } else {
-        // Rotate-left is only a permutation over power-of-two id spaces;
-        // fall back to the half-rotation (bijective for any n).
-        dst = static_cast<NodeId>((src + n / 2) % n);
+        // Non-power-of-two: the riffle (doubling) permutation — the same
+        // map the bit rotation computes, since rotate-left on b bits is
+        // 2s mod (2^b - 1). Doubling is a bijection mod any odd modulus
+        // (even n rifles the interior mod n-1), and rerouting the fixed
+        // endpoints through each other keeps it bijective *and*
+        // fixed-point-free, so every node receives exactly one flow. The
+        // old half-rotation fallback was a different pattern entirely.
+        const int modulus = n % 2 == 0 ? n - 1 : n;
+        if (src == 0) {
+          dst = static_cast<NodeId>(n % 2 == 0 ? n - 1 : n - 2);
+        } else if (src == n - 1) {
+          dst = 0;
+        } else {
+          dst = static_cast<NodeId>((2 * src) % modulus);
+        }
       }
       break;
     }

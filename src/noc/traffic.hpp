@@ -40,13 +40,16 @@ TrafficPattern ParseTrafficPattern(const std::string& name);
 const char* TrafficPatternName(TrafficPattern p);
 
 /// Destination of `src` under a *deterministic* pattern on a width x height
-/// mesh (row-major node ids). Bit-reverse and shuffle use their classic
-/// bit-twiddling form when the node count is a power of two and fall back
-/// to an equivalent-distance permutation otherwise (mirror `n-1-src` for
-/// bit-reverse, half-rotation `(src + n/2) % n` for shuffle); transpose
-/// falls back to the mirror on non-square meshes. The result is always in
-/// range and never equals `src` (self-sends map to the next node). Throws
-/// std::invalid_argument for randomized patterns (uniform, hotspot).
+/// grid (row-major node ids). Transpose is the matrix transpose
+/// `(x,y) -> x*height + y`, bijective for any dimensions. Bit-reverse uses
+/// its classic bit-twiddling form when the node count is a power of two and
+/// the mirror `n-1-src` otherwise; shuffle is the riffle permutation
+/// (bit rotate-left for power-of-two n; otherwise doubling with the fixed
+/// endpoints rerouted through each other, so it has no fixed points).
+/// Every pattern is a bijection of the id space. The result is
+/// always in range and never equals `src` (self-sends map to the next
+/// node). Throws std::invalid_argument for randomized patterns (uniform,
+/// hotspot).
 NodeId DeterministicDestination(TrafficPattern pattern, NodeId src, int width,
                                 int height);
 

@@ -12,10 +12,27 @@ GpuConfig GpuConfig::Baseline() { return GpuConfig{}; }
 void GpuConfig::ApplyOverrides(const Config& overrides) {
   width = static_cast<int>(overrides.GetInt("width", width));
   height = static_cast<int>(overrides.GetInt("height", height));
+  if (overrides.Contains("radix")) {
+    // Square-grid shorthand: radix=16 == width=16 height=16 num_mcs=16 —
+    // the paper's scaling (N MCs in an N x N grid, one per bottom-row
+    // column, which keeps the classes link-disjoint under DOR). An
+    // explicit num_mcs= still wins below.
+    const int n = static_cast<int>(overrides.GetInt("radix", width));
+    width = n;
+    height = n;
+    num_mcs = n;
+  }
   num_mcs = static_cast<int>(overrides.GetInt("num_mcs", num_mcs));
   if (overrides.Contains("placement")) {
     placement = ParseMcPlacement(overrides.GetString("placement"));
   }
+  if (overrides.Contains("topology")) {
+    topology = ParseTopology(overrides.GetString("topology"));
+  }
+  circulant_s1 =
+      static_cast<int>(overrides.GetInt("circulant_s1", circulant_s1));
+  circulant_s2 =
+      static_cast<int>(overrides.GetInt("circulant_s2", circulant_s2));
   if (overrides.Contains("routing")) {
     routing = ParseRouting(overrides.GetString("routing"));
   }
@@ -97,10 +114,19 @@ void RegisterGpuConfigFlags(FlagSet& flags) {
       return v < min ? "must be >= " + std::to_string(min) : std::string();
     };
   };
-  flags.AddInt("width", def.width, "mesh width", at_least(1));
-  flags.AddInt("height", def.height, "mesh height", at_least(1));
+  flags.AddInt("width", def.width, "tile grid width", at_least(1));
+  flags.AddInt("height", def.height, "tile grid height", at_least(1));
+  flags.AddInt("radix", def.width,
+               "square-grid shorthand: width = height = num_mcs = radix",
+               at_least(2));
   flags.AddInt("num_mcs", def.num_mcs, "number of memory controllers",
                at_least(1));
+  flags.AddEnum("topology", "mesh", "interconnect topology",
+                {"mesh", "torus", "cmesh", "circulant"});
+  flags.AddInt("circulant_s1", def.circulant_s1,
+               "circulant chord step s1 (topology=circulant)", at_least(1));
+  flags.AddInt("circulant_s2", def.circulant_s2,
+               "circulant chord step s2 (0 = near-sqrt(N))", at_least(0));
   flags.AddString("placement", "bottom",
                   "MC placement (bottom|edge|top-bottom|diamond|...)",
                   parsed_by(ParseMcPlacement));
@@ -162,6 +188,9 @@ std::string GpuConfig::Describe() const {
   oss << McPlacementName(placement) << " + " << RoutingName(routing) << ", "
       << VcPolicyName(vc_policy) << ", " << num_vcs << " VCs x depth "
       << vc_depth;
+  if (topology != TopologyKind::kMesh) {
+    oss << ", " << TopologyName(topology);
+  }
   if (division == NetworkDivision::kPhysical) oss << ", dual physical nets";
   if (scheduling == SchedulingMode::kActiveSet) oss << ", active-set sched";
   return oss.str();

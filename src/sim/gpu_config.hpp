@@ -9,6 +9,7 @@
 #include "gpgpu/sm.hpp"
 #include "noc/network.hpp"
 #include "noc/placement.hpp"
+#include "noc/topology.hpp"
 
 namespace gnoc {
 
@@ -29,6 +30,15 @@ struct GpuConfig {
   int height = 8;
   int num_mcs = 8;
   McPlacement placement = McPlacement::kBottom;
+
+  /// Interconnect topology over the width x height tile grid (see
+  /// noc/topology.hpp). Placement and traffic stay tile-grid concepts on
+  /// every topology; only the router graph changes.
+  TopologyKind topology = TopologyKind::kMesh;
+  /// Circulant chord steps for topology=circulant: C(N; s1, s2) over
+  /// N = width * height routers. s2 == 0 picks a near-sqrt(N) chord.
+  int circulant_s1 = 1;
+  int circulant_s2 = 0;
 
   // --- NoC (Table 2: 2 VCs/port, depth 4, XY routing baseline) ---
   RoutingAlgorithm routing = RoutingAlgorithm::kXY;

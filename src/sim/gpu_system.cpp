@@ -65,6 +65,9 @@ std::uint64_t GpuConfigFingerprint(const GpuConfig& config,
   s.I32(config.height);
   s.I32(config.num_mcs);
   s.U8(static_cast<std::uint8_t>(config.placement));
+  s.U8(static_cast<std::uint8_t>(config.topology));
+  s.I32(config.circulant_s1);
+  s.I32(config.circulant_s2);
   s.U8(static_cast<std::uint8_t>(config.routing));
   s.U8(static_cast<std::uint8_t>(config.vc_policy));
   s.I32(config.num_vcs);
@@ -131,13 +134,19 @@ GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
   // Fail fast on protocol-deadlock-unsafe configurations (Sec. 3.2.1).
   // The ideal interconnect has no VCs, so nothing to validate there.
   if (!config_.ideal_noc) {
-    ValidatePolicyOrThrow(plan_, config_.routing, config_.vc_policy,
+    const Topology topo =
+        Topology::Make(config_.topology, config_.width, config_.height,
+                       config_.circulant_s1, config_.circulant_s2);
+    ValidatePolicyOrThrow(topo, plan_, config_.routing, config_.vc_policy,
                           config_.allow_unsafe);
   }
 
   NetworkConfig net;
   net.width = config_.width;
   net.height = config_.height;
+  net.topology = config_.topology;
+  net.circulant_s1 = config_.circulant_s1;
+  net.circulant_s2 = config_.circulant_s2;
   net.num_vcs = config_.num_vcs;
   net.vc_depth = config_.vc_depth;
   net.routing = config_.routing;
@@ -165,8 +174,9 @@ GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
     auto single = std::make_unique<SingleNetworkFabric>(net);
     // Distribute the static per-link class analysis so link-aware partial
     // monopolizing knows which links are single-class.
-    single->net(TrafficClass::kRequest)
-        .ConfigureLinkModes(AnalyzeLinkUsage(plan_, config_.routing));
+    Network& req_net = single->net(TrafficClass::kRequest);
+    req_net.ConfigureLinkModes(
+        AnalyzeLinkUsage(req_net.topology(), plan_, config_.routing));
     fabric_ = std::move(single);
   }
   if (config_.record_trace) {

@@ -276,5 +276,99 @@ TEST(HopCountTest, AverageIsPositiveAndBounded) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Topology generalizations: closed forms vs brute-force graph distance
+// ---------------------------------------------------------------------------
+
+/// Ground truth for IdealizedAverageDistance: all ordered router pairs via
+/// the graph's own Distance, weighted uniformly per tile pair.
+double BruteForceAverageDistance(const Topology& topo) {
+  long long sum = 0;
+  for (NodeId a = 0; a < topo.num_tiles(); ++a) {
+    for (NodeId b = 0; b < topo.num_tiles(); ++b) {
+      sum += topo.Distance(a, b);
+    }
+  }
+  return static_cast<double>(sum) /
+         (static_cast<double>(topo.num_tiles()) *
+          static_cast<double>(topo.num_tiles()));
+}
+
+TEST(TopologyHopCountTest, IdealizedClosedFormsMatchBruteForce) {
+  // Acceptance criterion: analytic average distances are exact against
+  // enumeration on all four topologies at 8x8 and 16x16 tile grids.
+  for (int n : {8, 16}) {
+    const Topology topos[] = {
+        Topology::Mesh(n, n),
+        Topology::Torus(n, n),
+        Topology::CMesh(n, n),
+        Topology::Circulant(n * n, 1, 0),
+    };
+    for (const Topology& topo : topos) {
+      EXPECT_DOUBLE_EQ(IdealizedAverageDistance(topo),
+                       BruteForceAverageDistance(topo))
+          << TopologyName(topo.kind()) << " " << n << "x" << n;
+    }
+  }
+  // Odd ring lengths exercise the (k^2-1)/(4k) torus branch.
+  EXPECT_DOUBLE_EQ(IdealizedAverageDistance(Topology::Torus(5, 3)),
+                   BruteForceAverageDistance(Topology::Torus(5, 3)));
+}
+
+TEST(TopologyHopCountTest, MeshOverloadMatchesPlanEnumeration) {
+  // The topology-aware enumeration on a plain mesh must reproduce the
+  // original Eq. 3 enumeration exactly, placement by placement.
+  for (McPlacement p : kAllPlacements) {
+    TilePlan plan(8, 8, 8, p);
+    const Topology mesh = Topology::Mesh(8, 8);
+    const auto direct = EnumerateHopCounts(plan);
+    const auto via_topo = EnumerateHopCounts(mesh, plan);
+    EXPECT_DOUBLE_EQ(via_topo.vertical, direct.vertical) << McPlacementName(p);
+    EXPECT_DOUBLE_EQ(via_topo.horizontal, direct.horizontal)
+        << McPlacementName(p);
+    EXPECT_EQ(via_topo.num_pairs, direct.num_pairs);
+  }
+}
+
+TEST(TopologyHopCountTest, TorusEnumerationUsesWrapDistances) {
+  // Bottom-row MCs are close to the top row on a torus: total hops must
+  // drop strictly below the mesh's.
+  TilePlan plan(8, 8, 8, McPlacement::kBottom);
+  const auto mesh = EnumerateHopCounts(Topology::Mesh(8, 8), plan);
+  const auto torus = EnumerateHopCounts(Topology::Torus(8, 8), plan);
+  EXPECT_LT(torus.total(), mesh.total());
+  EXPECT_EQ(torus.num_pairs, mesh.num_pairs);
+}
+
+TEST(TopologyLinkCoefficientTest, TotalEqualsGraphHopSum) {
+  // On every topology, summed coefficients == summed core->MC distances
+  // (routes are minimal, one crossing per hop).
+  TilePlan plan(8, 8, 8, McPlacement::kBottom);
+  for (const Topology& topo :
+       {Topology::Mesh(8, 8), Topology::Torus(8, 8), Topology::CMesh(8, 8),
+        Topology::Circulant(64, 1, 8)}) {
+    const auto map = ComputeLinkCoefficients(topo, plan, RoutingAlgorithm::kXY,
+                                             TrafficClass::kRequest);
+    const auto hops = EnumerateHopCounts(topo, plan);
+    EXPECT_EQ(static_cast<double>(map.Total()), hops.total())
+        << TopologyName(topo.kind());
+  }
+}
+
+TEST(TopologyLinkCoefficientTest, MeshDelegateIsIdentical) {
+  TilePlan plan(8, 8, 8, McPlacement::kEdge);
+  const auto legacy = ComputeLinkCoefficients(plan, RoutingAlgorithm::kXYYX,
+                                              TrafficClass::kReply);
+  const auto via_topo = ComputeLinkCoefficients(
+      Topology::Mesh(8, 8), plan, RoutingAlgorithm::kXYYX,
+      TrafficClass::kReply);
+  for (int r = 0; r < legacy.num_routers(); ++r) {
+    for (int p = 0; p < legacy.radix(); ++p) {
+      ASSERT_EQ(legacy.Count(r, p), via_topo.Count(r, p))
+          << "r" << r << " port " << p;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gnoc

@@ -81,6 +81,35 @@ TEST(CliTest, UnknownFlagWithoutNearMissGetsNoSuggestion) {
   }
 }
 
+TEST(CliTest, RejectsBadEnumValueWithSuggestion) {
+  FlagSet flags("prog", "");
+  flags.AddEnum("topology", "mesh", "interconnect topology",
+                {"mesh", "torus", "cmesh", "circulant"});
+  try {
+    ParseTokens(flags, {"topology=tors"});
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'tors' is not one of mesh|torus|cmesh|circulant"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("did you mean 'torus'?"), std::string::npos) << what;
+  }
+}
+
+TEST(CliTest, BadEnumValueWithoutNearMissGetsNoSuggestion) {
+  FlagSet flags = TypicalFlags();
+  try {
+    ParseTokens(flags, {"scheduling=qqqqqqqqqq"});
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("is not one of full|active-set"), std::string::npos)
+        << what;
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+  }
+}
+
 TEST(CliTest, RejectsMalformedToken) {
   FlagSet flags = TypicalFlags();
   EXPECT_THROW(ParseTokens(flags, {"threads"}), CliError);

@@ -64,6 +64,29 @@ TEST(GpuConfigTest, OverridesApply) {
   EXPECT_EQ(cfg.seed, 99u);
 }
 
+TEST(GpuConfigTest, RadixShorthandScalesGridAndMcs) {
+  // radix=N is the paper's scaling: an N x N grid with N MCs (one per
+  // bottom-row column, keeping the classes link-disjoint under DOR).
+  Config args;
+  args.SetInt("radix", 16);
+  args.Set("topology", "torus");
+  GpuConfig cfg = GpuConfig::Baseline();
+  cfg.ApplyOverrides(args);
+  EXPECT_EQ(cfg.width, 16);
+  EXPECT_EQ(cfg.height, 16);
+  EXPECT_EQ(cfg.num_mcs, 16);
+  EXPECT_EQ(cfg.topology, TopologyKind::kTorus);
+
+  // An explicit num_mcs= wins over the shorthand.
+  Config mixed;
+  mixed.SetInt("radix", 16);
+  mixed.SetInt("num_mcs", 8);
+  GpuConfig cfg2 = GpuConfig::Baseline();
+  cfg2.ApplyOverrides(mixed);
+  EXPECT_EQ(cfg2.width, 16);
+  EXPECT_EQ(cfg2.num_mcs, 8);
+}
+
 TEST(GpuConfigTest, AbsentOverridesKeepDefaults) {
   GpuConfig cfg = GpuConfig::Baseline();
   cfg.ApplyOverrides(Config{});

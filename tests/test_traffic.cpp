@@ -239,18 +239,63 @@ TEST(DeterministicDestinationTest, ShuffleKeepsClassicFormOnPow2) {
 }
 
 TEST(DeterministicDestinationTest, NonPow2FallbacksAreFair) {
-  // 3x4 = 12 nodes (not a power of two): the old "% 12" fold sent two
-  // sources to several low ids and none to the high ones. The fallbacks
-  // must hit every destination at most... exactly once per pattern where
-  // the permutation has no fixed point (even n: mirror and half-rotation).
-  for (TrafficPattern p :
-       {TrafficPattern::kBitReverse, TrafficPattern::kShuffle}) {
-    std::vector<int> hits(12, 0);
-    for (NodeId src = 0; src < 12; ++src) {
-      ++hits[static_cast<std::size_t>(
-          DeterministicDestination(p, src, 3, 4))];
+  // Non-power-of-two node counts — even (3x4, 2x5), odd (5x3), prime ring
+  // circulant-style (13x1): the old "% n" fold sent two sources to several
+  // low ids and none to the high ones, and the old shuffle fallback
+  // substituted a half-rotation. Shuffle is now fixed-point-free on any
+  // count (endpoints rerouted through each other), so it must be a perfect
+  // bijection; so must the mirror bit-reverse on even counts.
+  const std::pair<int, int> grids[] = {{3, 4}, {5, 3}, {13, 1}, {2, 5}};
+  for (const auto& [w, h] : grids) {
+    const int n = w * h;
+    for (TrafficPattern p :
+         {TrafficPattern::kBitReverse, TrafficPattern::kShuffle}) {
+      if (p == TrafficPattern::kBitReverse && n % 2 == 1) {
+        continue;  // odd-count mirror has a centre fixed point
+      }
+      std::vector<int> hits(static_cast<std::size_t>(n), 0);
+      for (NodeId src = 0; src < n; ++src) {
+        ++hits[static_cast<std::size_t>(
+            DeterministicDestination(p, src, w, h))];
+      }
+      for (int hit : hits) {
+        EXPECT_EQ(hit, 1) << TrafficPatternName(p) << " " << w << "x" << h;
+      }
     }
-    for (int h : hits) EXPECT_EQ(h, 1) << TrafficPatternName(p);
+  }
+}
+
+TEST(DeterministicDestinationTest, PatternsWithFixedPointsStayNearBijective) {
+  // Patterns with inherent fixed points (the transpose diagonal, the odd
+  // mirror centre) reroute self-sends to the next node, costing at most one
+  // extra hit per fixed point. Unbiasedness bound: no destination is hit
+  // more than twice, and the number of silent destinations never exceeds
+  // the pattern's fixed-point count (2 for transpose off the diagonal-rich
+  // square case, 1 for the odd mirror).
+  const struct {
+    TrafficPattern pattern;
+    int w, h;
+    int max_silent;
+  } cases[] = {
+      {TrafficPattern::kTranspose, 3, 4, 2},   // fixed: (0,0), (2,3)
+      {TrafficPattern::kTranspose, 5, 3, 3},   // 3x=2y solutions
+      {TrafficPattern::kBitReverse, 5, 3, 1},  // odd mirror centre
+  };
+  for (const auto& c : cases) {
+    const int n = c.w * c.h;
+    std::vector<int> hits(static_cast<std::size_t>(n), 0);
+    for (NodeId src = 0; src < n; ++src) {
+      ++hits[static_cast<std::size_t>(
+          DeterministicDestination(c.pattern, src, c.w, c.h))];
+    }
+    int silent = 0;
+    for (int hit : hits) {
+      EXPECT_LE(hit, 2) << TrafficPatternName(c.pattern) << " " << c.w << "x"
+                        << c.h;
+      if (hit == 0) ++silent;
+    }
+    EXPECT_LE(silent, c.max_silent)
+        << TrafficPatternName(c.pattern) << " " << c.w << "x" << c.h;
   }
 }
 
@@ -258,6 +303,31 @@ TEST(DeterministicDestinationTest, TransposeSwapsCoordinatesOnSquare) {
   // 4x4, row-major: (1,0) id 1 -> (0,1) id 4; diagonal steps off itself.
   EXPECT_EQ(DeterministicDestination(TrafficPattern::kTranspose, 1, 4, 4), 4);
   EXPECT_EQ(DeterministicDestination(TrafficPattern::kTranspose, 5, 4, 4), 6);
+}
+
+TEST(DeterministicDestinationTest, TransposeIsTheMatrixTransposeOnRect) {
+  // Regression: rectangular grids used to degrade to the mirror
+  // permutation. 4x2, row-major: tile (x,y) must go to x*height + y, the
+  // same tile in the transposed (2x4) grid.
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kTranspose, 1, 4, 2), 2);
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kTranspose, 3, 4, 2), 6);
+  // (x,y) = (2,1), id 6 -> 2*2 + 1 = 5 (not mirror id 1).
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kTranspose, 6, 4, 2), 5);
+}
+
+TEST(DeterministicDestinationTest, ShuffleHasNoFixedPointsOffPow2) {
+  // The doubling riffle pins 0 (and n-1 for even n); the fallback reroutes
+  // the endpoints through each other instead of leaning on the generic
+  // self-send step, which would double-hit a destination.
+  for (int n : {6, 12, 15, 21}) {
+    EXPECT_NE(DeterministicDestination(TrafficPattern::kShuffle, 0, n, 1), 0);
+    EXPECT_EQ(DeterministicDestination(TrafficPattern::kShuffle, n - 1, n, 1),
+              0);
+  }
+  // Interior sources follow the plain doubling map.
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kShuffle, 4, 12, 1), 8);
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kShuffle, 7, 12, 1), 3);
+  EXPECT_EQ(DeterministicDestination(TrafficPattern::kShuffle, 8, 15, 1), 1);
 }
 
 TEST(DeterministicDestinationTest, RandomizedPatternsThrow) {
