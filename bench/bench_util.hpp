@@ -15,9 +15,10 @@
 //   telemetry_out=p   write <p>.csv and <p>.trace.json for runs a harness
 //                     designates (e.g. fig4's standalone KMN run)
 //   scheduling=active-set   NoC component scheduling for every cell:
-//                     full (tick everything, default) or active-set (skip
-//                     idle components bit-identically; same results, less
-//                     wall clock at low load)
+//                     full (tick everything, default), active-set (skip
+//                     idle components bit-identically) or event (timestamped
+//                     event queue; same results, least wall clock at low
+//                     load)
 #pragma once
 
 #include <unistd.h>
@@ -135,7 +136,7 @@ inline void RegisterSweepFlags(FlagSet& flags) {
   flags.AddString("telemetry_out", "",
                   "prefix for telemetry .csv/.trace.json exports");
   flags.AddEnum("scheduling", "full", "NoC component scheduling",
-                {"full", "active-set"});
+                {"full", "active-set", "event"});
   flags.AddString("checkpoint_dir", "",
                   "directory for crash-resumable sweep state (empty = off)");
   flags.AddInt("checkpoint_interval", 0,
@@ -237,10 +238,13 @@ inline ProgressFn StderrProgress() {
   auto mu = std::make_shared<std::mutex>();
   return [mu](const std::string& scheme, const std::string& workload, int done,
               int total) {
+    if (total <= 0) return;  // nothing to report on an empty sweep
     const std::lock_guard<std::mutex> lock(*mu);
-    std::cerr << "\r[" << done + 1 << "/" << total << "] " << scheme << " / "
+    // `done` is the number of cells actually committed (the engine reports
+    // after each cell completes), so the display never claims a cell early.
+    std::cerr << "\r[" << done << "/" << total << "] " << scheme << " / "
               << workload << "          " << std::flush;
-    if (done + 1 == total) std::cerr << '\n';
+    if (done >= total) std::cerr << '\n';
   };
 }
 

@@ -1,20 +1,21 @@
 #!/usr/bin/env python3
 """Perf-regression and bit-identity gate for the NoC scheduler.
 
-Runs the fig8 sweep (fixed seed, reduced scale) twice — once with full-tick
-scheduling and once with active-set scheduling — and enforces three gates:
+Runs the fig8 sweep (fixed seed, reduced scale) three times — once per
+scheduling mode (full, active-set, event) — and enforces these gates:
 
-  1. Bit identity: the two runs' sweep JSON documents must be *exactly*
-     equal, floats included. They come from the same binary in the same
-     process environment, so any difference is a scheduler bug.
+  1. Bit identity: the active-set and event runs' sweep JSON documents
+     must be *exactly* equal to the full-mode one, floats included. They
+     come from the same binary in the same process environment, so any
+     difference is a scheduler bug.
   2. Result stability: the full-mode document must match the committed
      baseline (bench/baseline.json). Integers and strings compare exactly;
      floats compare to a relative tolerance of 1e-6, absorbing FP-contraction
      differences between compilers while still catching real changes.
-  3. Wall clock: the active/full wall-clock ratio must not regress by more
-     than --max-regress (default 25%) vs the baseline's recorded ratio.
-     Using the *ratio* normalizes away the CI runner's absolute speed; the
-     full-mode run is the on-machine control.
+  3. Wall clock: the active/full and event/full wall-clock ratios must not
+     regress by more than --max-regress (default 25%) vs the baseline's
+     recorded ratios. Using the *ratio* normalizes away the CI runner's
+     absolute speed; the full-mode run is the on-machine control.
   4. Checkpoint-off cost: a checkpoint-enabled run (checkpoint_dir= to a
      scratch directory) is the on-machine control for the default
      checkpoint-off run. The two must produce exactly equal JSON, and the
@@ -23,9 +24,10 @@ scheduling and once with active-set scheduling — and enforces three gates:
      costs (it is the pre-checkpoint RunCell code path, null-hook pattern).
   5. Extra gates: each entry of the baseline's "extra_gates" list (e.g. the
      fixed-seed 16x16 torus sweep) re-runs gates 1-3 — scheduling-mode
-     bit-identity, results vs committed baseline, and the active/full
-     wall-clock ratio — under its own protocol. This pins the dateline
-     topologies' numbers the same way the 8x8 mesh baseline is pinned.
+     bit-identity (all three modes), results vs committed baseline, and the
+     active/full wall-clock ratio — under its own protocol. This pins the
+     dateline topologies' numbers the same way the 8x8 mesh baseline is
+     pinned.
 
 Regenerate the baseline after an intentional behavior change with:
 
@@ -144,24 +146,29 @@ def main():
 
     full_json = os.path.join(args.out_dir, "sweep_full.json")
     active_json = os.path.join(args.out_dir, "sweep_active.json")
+    event_json = os.path.join(args.out_dir, "sweep_event.json")
     full_doc, full_wall = run_mode(args.build_dir, protocol, "full", full_json)
     active_doc, active_wall = run_mode(args.build_dir, protocol, "active-set",
                                        active_json)
+    event_doc, event_wall = run_mode(args.build_dir, protocol, "event",
+                                     event_json)
     ratio = active_wall / full_wall
+    event_ratio = event_wall / full_wall
     print(f"check_regression: wall full={full_wall:.3f}s "
-          f"active-set={active_wall:.3f}s ratio={ratio:.3f}")
+          f"active-set={active_wall:.3f}s (ratio={ratio:.3f}) "
+          f"event={event_wall:.3f}s (ratio={event_ratio:.3f})")
 
-    # Gate 1: bit identity between the two scheduling modes (same binary,
-    # exact float comparison — any diff is a scheduler bug).
-    diffs = diff_json(full_doc, active_doc, exact_floats=True)
-    if diffs:
-        print("check_regression: FAIL — active-set diverged from full mode:",
-              file=sys.stderr)
-        for d in diffs[:20]:
-            print("  " + d, file=sys.stderr)
-        return 1
-    print("check_regression: bit-identity ok "
-          "(active-set == full, exact)")
+    # Gate 1: bit identity between the scheduling modes (same binary, exact
+    # float comparison — any diff is a scheduler bug).
+    for mode, doc in (("active-set", active_doc), ("event", event_doc)):
+        diffs = diff_json(full_doc, doc, exact_floats=True)
+        if diffs:
+            print(f"check_regression: FAIL — {mode} diverged from full "
+                  "mode:", file=sys.stderr)
+            for d in diffs[:20]:
+                print("  " + d, file=sys.stderr)
+            return 1
+        print(f"check_regression: bit-identity ok ({mode} == full, exact)")
 
     # Gate 4: checkpoint-off hot-path cost. The checkpoint-enabled run
     # (same machine, same protocol, strictly more work) is the control; the
@@ -209,21 +216,29 @@ def main():
         e_active_doc, e_active_wall = run_mode(
             args.build_dir, proto, "active-set",
             os.path.join(args.out_dir, f"sweep_{name}_active.json"))
+        e_event_doc, e_event_wall = run_mode(
+            args.build_dir, proto, "event",
+            os.path.join(args.out_dir, f"sweep_{name}_event.json"))
         e_ratio = e_active_wall / e_full_wall
+        e_event_ratio = e_event_wall / e_full_wall
         print(f"check_regression[{name}]: wall full={e_full_wall:.3f}s "
-              f"active-set={e_active_wall:.3f}s ratio={e_ratio:.3f}")
-        diffs = diff_json(e_full_doc, e_active_doc, exact_floats=True)
-        if diffs:
-            print(f"check_regression[{name}]: FAIL — active-set diverged "
-                  "from full mode:", file=sys.stderr)
-            for d in diffs[:20]:
-                print("  " + d, file=sys.stderr)
-            return 1
-        print(f"check_regression[{name}]: bit-identity ok "
-              "(active-set == full, exact)")
+              f"active-set={e_active_wall:.3f}s (ratio={e_ratio:.3f}) "
+              f"event={e_event_wall:.3f}s (ratio={e_event_ratio:.3f})")
+        for mode, doc in (("active-set", e_active_doc),
+                          ("event", e_event_doc)):
+            diffs = diff_json(e_full_doc, doc, exact_floats=True)
+            if diffs:
+                print(f"check_regression[{name}]: FAIL — {mode} diverged "
+                      "from full mode:", file=sys.stderr)
+                for d in diffs[:20]:
+                    print("  " + d, file=sys.stderr)
+                return 1
+            print(f"check_regression[{name}]: bit-identity ok "
+                  f"({mode} == full, exact)")
         if args.update:
             extra_updated.append(dict(proto, name=name,
                                       wall_ratio=round(e_ratio, 4),
+                                      wall_ratio_event=round(e_event_ratio, 4),
                                       results=e_full_doc))
             continue
         diffs = diff_json(spec["results"], e_full_doc, exact_floats=False)
@@ -236,22 +251,32 @@ def main():
             return 1
         print(f"check_regression[{name}]: stats ok "
               "(match committed baseline)")
-        allowed = spec["wall_ratio"] * (1.0 + args.max_regress)
-        if e_ratio > allowed:
-            print(f"check_regression[{name}]: FAIL — wall-clock ratio "
-                  f"{e_ratio:.3f} exceeds baseline {spec['wall_ratio']:.3f} "
-                  f"+{args.max_regress:.0%} allowance ({allowed:.3f})",
-                  file=sys.stderr)
-            return 1
-        print(f"check_regression[{name}]: perf ok "
-              f"(ratio {e_ratio:.3f} <= {allowed:.3f})")
+        for mode, got, base_key in (("active-set", e_ratio, "wall_ratio"),
+                                    ("event", e_event_ratio,
+                                     "wall_ratio_event")):
+            if base_key not in spec:
+                print(f"check_regression[{name}]: note — baseline has no "
+                      f"{base_key}; rerun with --update to pin the {mode} "
+                      "ratio")
+                continue
+            allowed = spec[base_key] * (1.0 + args.max_regress)
+            if got > allowed:
+                print(f"check_regression[{name}]: FAIL — {mode}/full "
+                      f"wall-clock ratio {got:.3f} exceeds baseline "
+                      f"{spec[base_key]:.3f} +{args.max_regress:.0%} "
+                      f"allowance ({allowed:.3f})", file=sys.stderr)
+                return 1
+            print(f"check_regression[{name}]: perf ok "
+                  f"({mode} ratio {got:.3f} <= {allowed:.3f})")
 
     if args.update:
         doc = {
             "protocol": protocol,
             "wall_seconds": {"full": round(full_wall, 4),
-                             "active-set": round(active_wall, 4)},
+                             "active-set": round(active_wall, 4),
+                             "event": round(event_wall, 4)},
             "wall_ratio": round(ratio, 4),
+            "wall_ratio_event": round(event_ratio, 4),
             "results": full_doc,
             "extra_gates": extra_updated,
         }
@@ -271,17 +296,24 @@ def main():
         return 1
     print("check_regression: stats ok (match committed baseline)")
 
-    # Gate 3: runner-normalized wall-clock. The committed ratio already
-    # proves the active-set speedup on the baseline machine; here we only
-    # require the *relative* advantage not to rot.
-    allowed = baseline["wall_ratio"] * (1.0 + args.max_regress)
-    if ratio > allowed:
-        print(f"check_regression: FAIL — wall-clock ratio {ratio:.3f} exceeds "
-              f"baseline {baseline['wall_ratio']:.3f} "
-              f"+{args.max_regress:.0%} allowance ({allowed:.3f})",
-              file=sys.stderr)
-        return 1
-    print(f"check_regression: perf ok (ratio {ratio:.3f} <= {allowed:.3f})")
+    # Gate 3: runner-normalized wall-clock. The committed ratios already
+    # prove the active-set/event speedups on the baseline machine; here we
+    # only require the *relative* advantage not to rot.
+    for mode, got, base_key in (("active-set", ratio, "wall_ratio"),
+                                ("event", event_ratio, "wall_ratio_event")):
+        if base_key not in baseline:
+            print(f"check_regression: note — baseline has no {base_key}; "
+                  f"rerun with --update to pin the {mode} ratio")
+            continue
+        allowed = baseline[base_key] * (1.0 + args.max_regress)
+        if got > allowed:
+            print(f"check_regression: FAIL — {mode}/full wall-clock ratio "
+                  f"{got:.3f} exceeds baseline {baseline[base_key]:.3f} "
+                  f"+{args.max_regress:.0%} allowance ({allowed:.3f})",
+                  file=sys.stderr)
+            return 1
+        print(f"check_regression: perf ok "
+              f"({mode} ratio {got:.3f} <= {allowed:.3f})")
     return 0
 
 

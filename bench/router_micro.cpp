@@ -80,6 +80,19 @@ void BM_NetworkCycleIdleActiveSet(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkCycleIdleActiveSet);
 
+/// The same idle 8x8 network under event scheduling: an idle cycle is one
+/// empty-heap peek — time advances without any per-cycle component cost.
+void BM_NetworkCycleIdleEvent(benchmark::State& state) {
+  NetworkConfig cfg;
+  cfg.scheduling = SchedulingMode::kEvent;
+  Network net(cfg);
+  for (auto _ : state) {
+    net.Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkCycleIdleEvent);
+
 /// One network cycle under sparse load: a single long-lived packet stream
 /// crossing the mesh corner-to-corner keeps a handful of components busy
 /// while the other ~60 routers idle — the common low-intensity regime of
@@ -108,6 +121,8 @@ BENCHMARK(BM_NetworkCycleSparse<SchedulingMode::kFull>)
     ->Name("BM_NetworkCycleSparseFull");
 BENCHMARK(BM_NetworkCycleSparse<SchedulingMode::kActiveSet>)
     ->Name("BM_NetworkCycleSparseActiveSet");
+BENCHMARK(BM_NetworkCycleSparse<SchedulingMode::kEvent>)
+    ->Name("BM_NetworkCycleSparseEvent");
 
 /// One loaded GPGPU cycle (56 SMs + 8 MCs + 64 routers, KMN workload).
 void BM_GpuCycleLoaded(benchmark::State& state) {

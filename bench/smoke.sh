@@ -128,20 +128,28 @@ else
   echo "smoke: telemetry ok (structural check only; python3 not found)" >&2
 fi
 
-# Fourth pass: active-set scheduling must be bit-identical to full-tick
-# mode. Any diff between the two CSVs is a scheduler bug.
+# Fourth pass: active-set and event scheduling must be bit-identical to
+# full-tick mode. Any diff between the CSVs is a scheduler bug.
 SCHED_FULL=${GNOC_SMOKE_SCHED_FULL:-/tmp/smoke_sched_full.csv}
 SCHED_ACTIVE=${GNOC_SMOKE_SCHED_ACTIVE:-/tmp/smoke_sched_active.csv}
-echo "smoke: $HARNESS scale=0.1 csv=true scheduling={full,active-set}" >&2
+SCHED_EVENT=${GNOC_SMOKE_SCHED_EVENT:-/tmp/smoke_sched_event.csv}
+echo "smoke: $HARNESS scale=0.1 csv=true scheduling={full,active-set,event}" >&2
 "$HARNESS" scale=0.1 threads=4 csv=true scheduling=full "$@" > "$SCHED_FULL"
 "$HARNESS" scale=0.1 threads=4 csv=true scheduling=active-set "$@" \
     > "$SCHED_ACTIVE"
-if ! diff -q "$SCHED_FULL" "$SCHED_ACTIVE" > /dev/null; then
-  echo "smoke: FAIL — active-set scheduling diverged from full mode:" >&2
-  diff "$SCHED_FULL" "$SCHED_ACTIVE" | head -20 >&2
-  exit 1
-fi
-echo "smoke: scheduling ok — active-set output bit-identical to full" >&2
+"$HARNESS" scale=0.1 threads=4 csv=true scheduling=event "$@" \
+    > "$SCHED_EVENT"
+for mode in active-set event; do
+  got="$SCHED_ACTIVE"
+  [[ "$mode" == event ]] && got="$SCHED_EVENT"
+  if ! diff -q "$SCHED_FULL" "$got" > /dev/null; then
+    echo "smoke: FAIL — $mode scheduling diverged from full mode:" >&2
+    diff "$SCHED_FULL" "$got" | head -20 >&2
+    exit 1
+  fi
+done
+echo "smoke: scheduling ok — active-set and event output bit-identical" \
+     "to full" >&2
 
 # Fifth pass: kill-and-resume. Run the fig8 sweep with checkpointing, kill
 # it mid-flight (SIGKILL — no chance to clean up), resume it, and require

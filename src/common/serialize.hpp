@@ -26,7 +26,8 @@
 namespace gnoc {
 
 /// Bumped whenever the serialized layout of any component changes.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+/// v3: Network payloads append the event queue (scheduling=event).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
 
 /// Thrown on any malformed snapshot: truncation, bad magic, version skew,
 /// fingerprint mismatch, CRC mismatch.

@@ -68,6 +68,13 @@ class DelayLine {
     return !items_.empty() && items_.front().first <= now;
   }
 
+  /// Delivery cycle of the oldest in-flight item (event scheduling: the
+  /// channel's next wake). Requires a non-empty line.
+  Cycle FrontDue() const {
+    assert(!items_.empty());
+    return items_.front().first;
+  }
+
   /// Pops the front item if it has arrived by `now`.
   std::optional<T> Pop(Cycle now) {
     if (!Deliverable(now)) return std::nullopt;

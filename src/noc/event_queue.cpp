@@ -1,0 +1,78 @@
+#include "noc/event_queue.hpp"
+
+namespace gnoc {
+
+void EventQueue::Resize(std::size_t flit_links, std::size_t credit_links,
+                        std::size_t routers, std::size_t nics) {
+  pending_[static_cast<std::size_t>(EventKind::kFlitLink)]
+      .assign(flit_links, kNever);
+  pending_[static_cast<std::size_t>(EventKind::kCreditLink)]
+      .assign(credit_links, kNever);
+  pending_[static_cast<std::size_t>(EventKind::kRouter)]
+      .assign(routers, kNever);
+  pending_[static_cast<std::size_t>(EventKind::kNic)].assign(nics, kNever);
+  heap_.clear();
+}
+
+void EventQueue::Schedule(EventKind kind, std::size_t index, Cycle cycle) {
+  assert(index < pending_[static_cast<std::size_t>(kind)].size());
+  if (processing_ && cycle <= now_) {
+    // Mirrors ActiveSet::Sweep: a member (re-)added mid-sweep at or behind
+    // the cursor runs next cycle, not this one.
+    cycle = AheadOfCursor(kind, index) ? now_ : now_ + 1;
+  }
+  Cycle& p = pending_[static_cast<std::size_t>(kind)][index];
+  if (p <= cycle) return;  // an earlier (or equal) wake is already queued
+  p = cycle;
+  heap_.push_back(Event{cycle, kind, static_cast<std::uint32_t>(index)});
+  std::push_heap(heap_.begin(), heap_.end(), After);
+}
+
+void EventQueue::Clear() {
+  for (auto& kind : pending_) {
+    std::fill(kind.begin(), kind.end(), kNever);
+  }
+  heap_.clear();
+}
+
+void EventQueue::Save(Serializer& s) const {
+  for (const auto& kind : pending_) {
+    s.U64(kind.size());
+    for (Cycle c : kind) s.U64(c);
+  }
+  s.U64(heap_.size());
+  for (const Event& e : heap_) {
+    s.U64(e.cycle);
+    s.U8(static_cast<std::uint8_t>(e.kind));
+    s.U32(e.index);
+  }
+}
+
+void EventQueue::Load(Deserializer& d) {
+  for (auto& kind : pending_) {
+    const std::uint64_t n = d.U64();
+    if (n != kind.size()) {
+      throw SerializeError("event queue domain size mismatch: snapshot has " +
+                           std::to_string(n) + ", network has " +
+                           std::to_string(kind.size()));
+    }
+    for (Cycle& c : kind) c = d.U64();
+  }
+  heap_.clear();
+  const std::uint64_t n = d.U64();
+  heap_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Event e;
+    e.cycle = d.U64();
+    e.kind = static_cast<EventKind>(d.U8());
+    e.index = d.U32();
+    if (static_cast<std::size_t>(e.kind) >= kNumEventKinds ||
+        e.index >= pending_[static_cast<std::size_t>(e.kind)].size()) {
+      throw SerializeError("event queue entry out of range");
+    }
+    heap_.push_back(e);
+  }
+  // The saved array is already a valid heap (saved verbatim); no rebuild.
+}
+
+}  // namespace gnoc

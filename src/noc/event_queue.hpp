@@ -1,0 +1,155 @@
+// Timestamped wake scheduler for the event-driven network core
+// (NetworkConfig::scheduling == SchedulingMode::kEvent; DESIGN.md §12).
+//
+// A binary min-heap of (cycle, component-kind, index) events over the same
+// four component domains the active-set scheduler tracks with dirty lists.
+// Components schedule their own next wake (channels at the front item's
+// delivery time, routers/NICs at now+1 while HasWork(), epoch-dirty
+// components at the next dynamic-epoch boundary), so a cycle with no due
+// events costs one heap peek and an idle network ticks no components at
+// all.
+//
+// Two non-negotiable ordering properties make event runs bit-identical to
+// full-tick runs:
+//
+//  * Events due the same cycle pop in (kind, index) order — exactly the
+//    phase order TickFull/TickActive process components in (flit links,
+//    credit links, routers, NICs, each ascending by index).
+//  * A wake requested for the *current* cycle at or behind the processing
+//    cursor is deferred to the next cycle — the same rule ActiveSet::Sweep
+//    applies to members added mid-sweep, mirroring the full scheduler where
+//    component i acts this cycle on an event raised by j only when i > j.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace gnoc {
+
+/// Component kinds, in the order a cycle processes them. The numeric values
+/// are part of the heap key (and the snapshot layout): do not reorder.
+enum class EventKind : std::uint8_t {
+  kFlitLink = 0,
+  kCreditLink = 1,
+  kRouter = 2,
+  kNic = 3,
+};
+
+inline constexpr std::size_t kNumEventKinds = 4;
+
+/// One scheduled wake: component (kind, index) runs at `cycle`.
+struct Event {
+  Cycle cycle = 0;
+  EventKind kind = EventKind::kFlitLink;
+  std::uint32_t index = 0;
+};
+
+class EventQueue {
+ public:
+  /// Sentinel pending value: no wake scheduled.
+  static constexpr Cycle kNever = ~Cycle{0};
+
+  EventQueue() = default;
+
+  /// Sets the per-kind domain sizes; drops every scheduled event.
+  void Resize(std::size_t flit_links, std::size_t credit_links,
+              std::size_t routers, std::size_t nics);
+
+  /// Schedules (kind, index) to run at `cycle`, keeping only the earliest
+  /// pending wake per component: requests at or after an already-scheduled
+  /// wake are no-ops, earlier requests supersede it (the superseded heap
+  /// entry is dropped lazily when popped). During ProcessCycle, a request
+  /// for the current cycle at or behind the cursor is deferred one cycle
+  /// (see the header comment).
+  void Schedule(EventKind kind, std::size_t index, Cycle cycle);
+
+  /// The pending wake cycle of (kind, index), kNever when none.
+  Cycle Pending(EventKind kind, std::size_t index) const {
+    return pending_[static_cast<std::size_t>(kind)][index];
+  }
+
+  /// True when (kind, index) has a wake scheduled (at any cycle).
+  bool HasPending(EventKind kind, std::size_t index) const {
+    return Pending(kind, index) != kNever;
+  }
+
+  /// True when no events are scheduled at all.
+  bool Empty() const { return heap_.empty(); }
+
+  /// Drops every scheduled event WITHOUT regard to pending work (the
+  /// ForceSleepAll mutation hook; see Network::ForceSleepAll).
+  void Clear();
+
+  /// Pops and dispatches every event due at `now`, in (kind, index) order,
+  /// invoking `visit(kind, index)` once per live event (superseded heap
+  /// entries are skipped). Wakes scheduled by the visitor for `now` join
+  /// this cycle when still ahead of the cursor and defer to `now + 1`
+  /// otherwise.
+  template <typename Visitor>
+  void ProcessCycle(Cycle now, Visitor&& visit) {
+    processing_ = true;
+    now_ = now;
+    while (!heap_.empty() && heap_.front().cycle <= now) {
+      const Event e = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), After);
+      heap_.pop_back();
+      assert(e.cycle == now && "event left over from a past cycle");
+      Cycle& p = pending_[static_cast<std::size_t>(e.kind)][e.index];
+      if (p != e.cycle) continue;  // superseded by an earlier wake
+      p = kNever;
+      cursor_kind_ = e.kind;
+      cursor_index_ = e.index;
+      visit(e.kind, static_cast<std::size_t>(e.index));
+    }
+    processing_ = false;
+  }
+
+  /// Visits every component with a pending wake exactly once (heap order,
+  /// skipping superseded entries). Used for O(scheduled) flit accounting.
+  template <typename Fn>
+  void ForEachPending(Fn&& fn) const {
+    for (const Event& e : heap_) {
+      if (pending_[static_cast<std::size_t>(e.kind)][e.index] == e.cycle) {
+        fn(e.kind, static_cast<std::size_t>(e.index));
+      }
+    }
+  }
+
+  /// Snapshot support (DESIGN.md §10): pending cycles and the heap array
+  /// verbatim — no re-heapify, which could permute equal-keyed entries and
+  /// change pop order (same rationale as PriorityQueueAccess).
+  void Save(Serializer& s) const;
+  void Load(Deserializer& d);
+
+ private:
+  /// Min-heap comparator over the (cycle, kind, index) key.
+  static bool After(const Event& a, const Event& b) {
+    if (a.cycle != b.cycle) return a.cycle > b.cycle;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.index > b.index;
+  }
+
+  /// True when (kind, index) is strictly ahead of the processing cursor.
+  bool AheadOfCursor(EventKind kind, std::size_t index) const {
+    if (kind != cursor_kind_) return kind > cursor_kind_;
+    return index > cursor_index_;
+  }
+
+  std::array<std::vector<Cycle>, kNumEventKinds> pending_;
+  std::vector<Event> heap_;
+
+  // Live only inside ProcessCycle (never serialized: snapshots are taken
+  // between ticks).
+  bool processing_ = false;
+  Cycle now_ = 0;
+  EventKind cursor_kind_ = EventKind::kFlitLink;
+  std::size_t cursor_index_ = 0;
+};
+
+}  // namespace gnoc

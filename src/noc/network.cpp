@@ -15,6 +15,7 @@ const char* SchedulingModeName(SchedulingMode m) {
   switch (m) {
     case SchedulingMode::kFull: return "full";
     case SchedulingMode::kActiveSet: return "active-set";
+    case SchedulingMode::kEvent: return "event";
   }
   return "?";
 }
@@ -27,8 +28,9 @@ SchedulingMode ParseSchedulingMode(const std::string& name) {
   if (lower == "active-set" || lower == "active" || lower == "activeset") {
     return SchedulingMode::kActiveSet;
   }
-  throw std::invalid_argument("scheduling must be full|active-set (got '" +
-                              name + "')");
+  if (lower == "event") return SchedulingMode::kEvent;
+  throw std::invalid_argument(
+      "scheduling must be full|active-set|event (got '" + name + "')");
 }
 
 namespace {
@@ -71,6 +73,14 @@ Network::Network(const NetworkConfig& config)
       topo_(Topology::Make(config.topology, config.width, config.height,
                            config.circulant_s1, config.circulant_s2)) {
   assert(config.width >= 2 && config.height >= 2);
+  if (config_.vc_policy == VcPolicyKind::kDynamic &&
+      config_.dynamic_epoch == 0) {
+    // The router/NIC epoch catch-up loops advance next_boundary_update_ by
+    // dynamic_epoch per iteration; a zero epoch would spin them forever.
+    throw std::invalid_argument(
+        "dynamic_epoch must be >= 1 (got 0): the dynamic VC policy commits "
+        "epoch flit counts every dynamic_epoch cycles");
+  }
   if (topo_.has_datelines()) ValidateDatelineVcs(config_);
   if (config_.audit) {
     auditor_ = std::make_unique<Auditor>(config_.audit_interval);
@@ -238,6 +248,50 @@ Network::Network(const NetworkConfig& config)
           {&ActiveSet::AddTo, &active_credit_links_, i});
     }
   }
+
+  // Event scheduling: the same wake sites schedule timestamped wakes on the
+  // event queue instead. The queue starts empty — a fresh network is fully
+  // idle, and the first injection schedules its NIC through Nic::Inject.
+  if (config_.scheduling == SchedulingMode::kEvent) {
+    event_queue_.Resize(flit_links_.size(), credit_links_.size(),
+                        routers_.size(), nics_.size());
+    for (std::size_t i = 0; i < routers_.size(); ++i) {
+      routers_[i]->SetWakeHook({&Network::WakeRouterEvent, this, i});
+    }
+    for (std::size_t i = 0; i < nics_.size(); ++i) {
+      nics_[i]->SetWakeHook({&Network::WakeNicEvent, this, i});
+    }
+    for (std::size_t i = 0; i < flit_links_.size(); ++i) {
+      flit_links_[i]->channel.SetWakeHook(
+          {&Network::WakeFlitLinkEvent, this, i});
+    }
+    for (std::size_t i = 0; i < credit_links_.size(); ++i) {
+      credit_links_[i]->channel.SetWakeHook(
+          {&Network::WakeCreditLinkEvent, this, i});
+    }
+  }
+}
+
+void Network::WakeRouterEvent(void* ctx, std::size_t index) {
+  auto* net = static_cast<Network*>(ctx);
+  net->event_queue_.Schedule(EventKind::kRouter, index, net->now_);
+}
+
+void Network::WakeNicEvent(void* ctx, std::size_t index) {
+  auto* net = static_cast<Network*>(ctx);
+  net->event_queue_.Schedule(EventKind::kNic, index, net->now_);
+}
+
+void Network::WakeFlitLinkEvent(void* ctx, std::size_t index) {
+  auto* net = static_cast<Network*>(ctx);
+  net->event_queue_.Schedule(EventKind::kFlitLink, index,
+                             net->flit_links_[index]->channel.FrontDue());
+}
+
+void Network::WakeCreditLinkEvent(void* ctx, std::size_t index) {
+  auto* net = static_cast<Network*>(ctx);
+  net->event_queue_.Schedule(EventKind::kCreditLink, index,
+                             net->credit_links_[index]->channel.FrontDue());
 }
 
 NodeId Network::NodeAt(Coord c) const {
@@ -307,10 +361,10 @@ void Network::DeliverChannels() {
 }
 
 void Network::Tick() {
-  if (config_.scheduling == SchedulingMode::kActiveSet) {
-    TickActive();
-  } else {
-    TickFull();
+  switch (config_.scheduling) {
+    case SchedulingMode::kFull: TickFull(); break;
+    case SchedulingMode::kActiveSet: TickActive(); break;
+    case SchedulingMode::kEvent: TickEvent(); break;
   }
   ++now_;
 }
@@ -409,6 +463,88 @@ void Network::TickActive() {
   UpdateWatchdog([this] { return ActiveFlitsInFlight() == 0; });
 }
 
+void Network::TickEvent() {
+  // Events due this cycle pop in (kind, index) order — the exact order the
+  // full path processes components in — and EventQueue::Schedule defers a
+  // same-cycle wake at or behind the cursor to the next cycle, exactly as
+  // ActiveSet::Sweep does for members added mid-sweep. Every visited
+  // component re-arms its own next wake, so a cycle with no due events
+  // does no component work at all.
+  event_queue_.ProcessCycle(now_, [this](EventKind kind, std::size_t i) {
+    ++tick_steps_;
+    switch (kind) {
+      case EventKind::kFlitLink: {
+        FlitLink& link = *flit_links_[i];
+        while (auto flit = link.channel.Pop(now_)) {
+          link.dst_router->AcceptFlit(link.dst_port, *flit, now_);
+        }
+        if (!link.channel.empty()) {
+          event_queue_.Schedule(EventKind::kFlitLink, i,
+                                link.channel.FrontDue());
+        }
+        break;
+      }
+      case EventKind::kCreditLink: {
+        // Router-bound credits are pushed into the router (waking it);
+        // NIC-bound credit channels are popped by the NIC itself in its
+        // Tick, so an arrived credit just wakes the owning NIC.
+        CreditLink& link = *credit_links_[i];
+        if (link.dst_router != nullptr) {
+          while (auto credit = link.channel.Pop(now_)) {
+            link.dst_router->AcceptCredit(link.dst_port, credit->vc);
+          }
+        } else if (link.channel.Deliverable(now_)) {
+          event_queue_.Schedule(EventKind::kNic,
+                                static_cast<std::size_t>(link.dst_nic->node()),
+                                now_);
+        }
+        if (!link.channel.empty()) {
+          // For a NIC-bound link whose front credit is deliverable now, the
+          // cursor rule turns this into a next-cycle revisit — the same
+          // "stay listed until empty" behaviour the dirty list has.
+          event_queue_.Schedule(EventKind::kCreditLink, i,
+                                link.channel.FrontDue());
+        }
+        break;
+      }
+      case EventKind::kRouter: {
+        Router& r = *routers_[i];
+        r.Tick(now_);
+        if (r.HasWork()) {
+          // Busy next cycle, or — dynamic policy with only uncommitted
+          // epoch counts — exactly at the next epoch boundary.
+          event_queue_.Schedule(EventKind::kRouter, i,
+                                r.BufferedFlits() > 0
+                                    ? now_ + 1
+                                    : r.next_boundary_update());
+        }
+        break;
+      }
+      case EventKind::kNic: {
+        Nic& n = *nics_[i];
+        n.Tick(now_);
+        if (n.HasWork()) {
+          event_queue_.Schedule(
+              EventKind::kNic, i,
+              !n.Idle() ? now_ + 1 : n.next_boundary_update());
+        }
+        break;
+      }
+    }
+  });
+
+  if (auditor_ != nullptr && auditor_->SnapshotDue(now_)) {
+    CheckSchedulerCoverage();
+    auditor_->RunSnapshot(now_);
+  }
+
+  if (telemetry_ != nullptr && telemetry_->SampleDue(now_)) {
+    telemetry_->Sample(now_);
+  }
+
+  UpdateWatchdog([this] { return EventFlitsInFlight() == 0; });
+}
+
 std::size_t Network::ActiveFlitsInFlight() const {
   // Every term of the full FlitsInFlight scan is contributed by a component
   // the wake hooks guarantee is on its dirty list (buffered flits => router
@@ -425,31 +561,59 @@ std::size_t Network::ActiveFlitsInFlight() const {
   return total;
 }
 
+std::size_t Network::EventFlitsInFlight() const {
+  // Event-mode counterpart of ActiveFlitsInFlight: every component holding
+  // flits re-arms a wake while it has work, so summing over the pending
+  // entries reproduces the full scan in O(scheduled).
+  std::size_t total = 0;
+  event_queue_.ForEachPending([&](EventKind kind, std::size_t i) {
+    switch (kind) {
+      case EventKind::kFlitLink: total += flit_links_[i]->channel.size(); break;
+      case EventKind::kCreditLink: break;  // credits are not flits
+      case EventKind::kRouter: total += routers_[i]->BufferedFlits(); break;
+      case EventKind::kNic:
+        if (!nics_[i]->Idle()) ++total;  // same pending unit as the full scan
+        break;
+    }
+  });
+  return total;
+}
+
 void Network::CheckSchedulerCoverage() {
   assert(auditor_ != nullptr &&
-         config_.scheduling == SchedulingMode::kActiveSet);
-  const auto violate = [this](const std::string& what, std::size_t i) {
+         config_.scheduling != SchedulingMode::kFull);
+  const bool event = config_.scheduling == SchedulingMode::kEvent;
+  const auto tracked = [&](EventKind kind, const ActiveSet& set,
+                           std::size_t i) {
+    return event ? event_queue_.HasPending(kind, i) : set.Contains(i);
+  };
+  const auto violate = [&](const std::string& what, std::size_t i) {
     auditor_->ReportViolation(
         AuditInvariant::kSchedulerCoverage, now_,
-        what + " " + std::to_string(i) +
-            " has pending work but is not on the scheduler's dirty list");
+        what + " " + std::to_string(i) + " has pending work but is not " +
+            (event ? "scheduled on the event queue"
+                   : "on the scheduler's dirty list"));
   };
   for (std::size_t i = 0; i < routers_.size(); ++i) {
-    if (routers_[i]->HasWork() && !active_routers_.Contains(i)) {
+    if (routers_[i]->HasWork() &&
+        !tracked(EventKind::kRouter, active_routers_, i)) {
       violate("router", i);
     }
   }
   for (std::size_t i = 0; i < nics_.size(); ++i) {
-    if (nics_[i]->HasWork() && !active_nics_.Contains(i)) violate("nic", i);
+    if (nics_[i]->HasWork() && !tracked(EventKind::kNic, active_nics_, i)) {
+      violate("nic", i);
+    }
   }
   for (std::size_t i = 0; i < flit_links_.size(); ++i) {
-    if (!flit_links_[i]->channel.empty() && !active_flit_links_.Contains(i)) {
+    if (!flit_links_[i]->channel.empty() &&
+        !tracked(EventKind::kFlitLink, active_flit_links_, i)) {
       violate("flit link", i);
     }
   }
   for (std::size_t i = 0; i < credit_links_.size(); ++i) {
     if (!credit_links_[i]->channel.empty() &&
-        !active_credit_links_.Contains(i)) {
+        !tracked(EventKind::kCreditLink, active_credit_links_, i)) {
       violate("credit link", i);
     }
   }
@@ -460,14 +624,20 @@ void Network::ForceSleepAll() {
   active_nics_.Clear();
   active_flit_links_.Clear();
   active_credit_links_.Clear();
+  event_queue_.Clear();
 }
 
 bool Network::Drain(Cycle max_cycles) {
-  // Under active-set scheduling the dirty lists make the per-cycle drained
-  // check O(active); the values are identical (see ActiveFlitsInFlight).
-  const bool active = config_.scheduling == SchedulingMode::kActiveSet;
+  // Under active-set/event scheduling the scheduler's own tracking makes
+  // the per-cycle drained check O(active); the values are identical (see
+  // ActiveFlitsInFlight / EventFlitsInFlight).
   const auto flits_in_flight = [&] {
-    return active ? ActiveFlitsInFlight() : FlitsInFlight();
+    switch (config_.scheduling) {
+      case SchedulingMode::kActiveSet: return ActiveFlitsInFlight();
+      case SchedulingMode::kEvent: return EventFlitsInFlight();
+      case SchedulingMode::kFull: break;
+    }
+    return FlitsInFlight();
   };
   for (Cycle i = 0; i < max_cycles; ++i) {
     if (flits_in_flight() == 0) {
@@ -612,6 +782,7 @@ void Network::Save(Serializer& s) const {
   active_nics_.Save(s);
   active_flit_links_.Save(s);
   active_credit_links_.Save(s);
+  event_queue_.Save(s);
 }
 
 void Network::Load(Deserializer& d) {
@@ -642,6 +813,7 @@ void Network::Load(Deserializer& d) {
   active_nics_.Load(d);
   active_flit_links_.Load(d);
   active_credit_links_.Load(d);
+  event_queue_.Load(d);
 }
 
 }  // namespace gnoc

@@ -17,6 +17,7 @@
 #include "noc/active_set.hpp"
 #include "noc/audit.hpp"
 #include "noc/channel.hpp"
+#include "noc/event_queue.hpp"
 #include "noc/nic.hpp"
 #include "noc/packet.hpp"
 #include "noc/router.hpp"
@@ -37,13 +38,20 @@ enum class SchedulingMode : std::uint8_t {
   /// all match — but cycles where most of the mesh is idle cost O(active)
   /// instead of O(nodes).
   kActiveSet = 1,
+  /// Timestamped event queue (DESIGN.md §12): components schedule their own
+  /// next wake — channels at the front item's delivery cycle, routers/NICs
+  /// at now+1 while busy or at the next dynamic-epoch boundary when only
+  /// epoch state is dirty. Bit-identical to kFull like kActiveSet, but a
+  /// cycle with no due events costs one heap peek, so idle and sparse runs
+  /// skip whole cycle ranges' worth of component work.
+  kEvent = 2,
 };
 
-/// Human readable name ("full", "active-set").
+/// Human readable name ("full", "active-set", "event").
 const char* SchedulingModeName(SchedulingMode m);
 
-/// Parses "full" / "active-set" / "active" (case-insensitive). Throws
-/// std::invalid_argument on unknown names.
+/// Parses "full" / "active-set" / "active" / "event" (case-insensitive).
+/// Throws std::invalid_argument on unknown names.
 SchedulingMode ParseSchedulingMode(const std::string& name);
 
 /// Full network configuration.
@@ -89,8 +97,8 @@ struct NetworkConfig {
   /// Window cap per metric track; when reached, adjacent windows merge and
   /// the width doubles (0 = unbounded).
   std::size_t telemetry_max_windows = 512;
-  /// Component scheduling discipline; kActiveSet skips idle routers/NICs/
-  /// channels bit-identically (see SchedulingMode).
+  /// Component scheduling discipline; kActiveSet and kEvent skip idle
+  /// routers/NICs/channels bit-identically (see SchedulingMode).
   SchedulingMode scheduling = SchedulingMode::kFull;
 };
 
@@ -233,21 +241,22 @@ class Network {
 
   /// Component updates performed so far: one per router/NIC tick and one
   /// per channel visit. Under kFull this grows by (routers + NICs + links)
-  /// every cycle; under kActiveSet only by the active count — the O(active)
-  /// claim tests assert on exactly this.
+  /// every cycle; under kActiveSet only by the active count and under
+  /// kEvent only by the events dispatched — the O(active) claim tests
+  /// assert on exactly this.
   std::uint64_t TickSteps() const { return tick_steps_; }
 
-  /// Drops every component from the active-set scheduler's dirty lists
-  /// WITHOUT regard to pending work — deliberately planting the lost-wakeup
-  /// bug the scheduler-coverage audit invariant exists to catch (mutation
-  /// tests only). No-op under kFull scheduling.
+  /// Drops every component from the active-set dirty lists and every wake
+  /// from the event queue WITHOUT regard to pending work — deliberately
+  /// planting the lost-wakeup bug the scheduler-coverage audit invariant
+  /// exists to catch (mutation tests only). No-op under kFull scheduling.
   void ForceSleepAll();
 
   // --- snapshot/restore (DESIGN.md §10) ---
 
   /// Serializes every piece of mutable state — clock, packet-id counter,
-  /// watchdog, routers, NICs, channel contents, auditor/telemetry state and
-  /// the active-set dirty lists — in a fixed order. Wiring and
+  /// watchdog, routers, NICs, channel contents, auditor/telemetry state,
+  /// the active-set dirty lists and the event queue — in a fixed order. Wiring and
   /// configuration are construction-derived and not serialized: Load
   /// requires a Network built from the identical NetworkConfig, and resumed
   /// execution is bit-identical to never having snapshotted.
@@ -269,11 +278,24 @@ class Network {
 
   void DeliverChannels();
 
+  // Event-scheduling wake trampolines (installed at construction under
+  // kEvent; `ctx` is the Network). Routers and NICs wake at the cycle the
+  // next Tick will process; channels wake at their front item's delivery
+  // cycle.
+  static void WakeRouterEvent(void* ctx, std::size_t index);
+  static void WakeNicEvent(void* ctx, std::size_t index);
+  static void WakeFlitLinkEvent(void* ctx, std::size_t index);
+  static void WakeCreditLinkEvent(void* ctx, std::size_t index);
+
   /// One full-scheduling cycle (the reference path).
   void TickFull();
   /// One active-set cycle: sweeps the four dirty lists in phase order
   /// (flit links, credit links, routers, NICs), each in ascending index.
   void TickActive();
+  /// One event-scheduled cycle: pops every event due now in (kind, index)
+  /// order and dispatches it; visited components re-arm their own next
+  /// wake. A cycle with no due events does no component work at all.
+  void TickEvent();
   /// Shared watchdog tail of both tick paths. `no_flits` must equal
   /// `FlitsInFlight() == 0` at the post-tick boundary (callers may compute
   /// it lazily: it is only read when no progress event fired this cycle).
@@ -283,8 +305,13 @@ class Network {
   /// scan whenever scheduler coverage holds (components with work are
   /// always listed), in O(active).
   std::size_t ActiveFlitsInFlight() const;
-  /// Audits that every component with pending work is on its dirty list
-  /// (kSchedulerCoverage; active-set scheduling with auditing on).
+  /// FlitsInFlight computed from the event queue's pending entries alone —
+  /// equal to the full scan whenever scheduler coverage holds, in
+  /// O(scheduled).
+  std::size_t EventFlitsInFlight() const;
+  /// Audits that every component with pending work is tracked by the
+  /// scheduler — on its dirty list (kActiveSet) or holding a pending wake
+  /// (kEvent). kSchedulerCoverage; requires auditing on.
   void CheckSchedulerCoverage();
 
   NetworkConfig config_;
@@ -304,6 +331,11 @@ class Network {
   ActiveSet active_nics_;
   ActiveSet active_flit_links_;
   ActiveSet active_credit_links_;
+
+  // Event scheduling state (empty/unused except under kEvent), over the
+  // same four component domains; wake hooks installed at construction
+  // schedule the wakes.
+  EventQueue event_queue_;
 
   Cycle now_ = 0;
   PacketId next_packet_id_ = 1;

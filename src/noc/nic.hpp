@@ -189,6 +189,10 @@ class Nic {
            (config_.vc_policy == VcPolicyKind::kDynamic && epoch_dirty_);
   }
 
+  /// The next dynamic-partitioning epoch boundary (see
+  /// Router::next_boundary_update).
+  Cycle next_boundary_update() const { return next_boundary_update_; }
+
   /// Snapshot support (DESIGN.md §10): queues, in-flight sends, credits,
   /// round-robin pointers, dynamic-boundary state, ejection/reassembly
   /// state and stats. Wiring pointers and `inject_flits_per_cycle_` are

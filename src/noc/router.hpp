@@ -183,6 +183,11 @@ class Router {
            (config_.vc_policy == VcPolicyKind::kDynamic && epoch_dirty_);
   }
 
+  /// The next dynamic-partitioning epoch boundary — the earliest cycle a
+  /// Tick of an otherwise-idle router can change state (event scheduling:
+  /// the wake cycle when only epoch state is dirty).
+  Cycle next_boundary_update() const { return next_boundary_update_; }
+
   /// The output port a packet of class `cls` headed for `dst` takes here
   /// (LUT when the topology or mesh dimensions are known, ComputeOutputPort
   /// otherwise).

@@ -495,20 +495,22 @@ SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
                                  : static_cast<unsigned>(options.threads);
 
   if (requested <= 1) {
-    // Sequential path: run inline in definition order, reporting each cell
-    // as it starts (the engine's original behavior).
+    // Sequential path: run inline in definition order. Progress reports the
+    // *completed* count, after the cell's result (and any checkpoint
+    // commit) has landed — a resumed or crashed sweep never saw a cell
+    // claimed done that is not.
     int done = 0;
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const SchemeSpec& scheme = schemes[cells[i].scheme];
       const WorkloadProfile& workload = workloads[cells[i].workload];
-      if (options.progress) {
-        options.progress(scheme.label, workload.name, done, total);
-      }
       result.Set(scheme.label, workload.name,
                  checkpoint != nullptr && checkpoint->IsDone(i)
                      ? load_done(i)
                      : run_one(i));
       ++done;
+      if (options.progress) {
+        options.progress(scheme.label, workload.name, done, total);
+      }
     }
     return result;
   }
@@ -532,10 +534,10 @@ SweepResult RunSweep(const std::vector<SchemeSpec>& schemes,
                               : run_one(i);
       std::lock_guard<std::mutex> lock(progress_mu);
       result.Set(scheme.label, workload.name, stats);
+      ++done;
       if (options.progress) {
         options.progress(scheme.label, workload.name, done, total);
       }
-      ++done;
     });
   }
   pool.WaitAll();

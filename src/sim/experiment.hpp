@@ -115,9 +115,11 @@ class SweepResult {
   std::vector<GpuRunStats> cells_;  // [workload][scheme] flattened
 };
 
-/// Progress callback: (scheme label, workload name, cell index, total).
-/// The engine serializes invocations (one at a time, under a lock) and the
-/// cell index is monotonic, so callbacks may keep unsynchronized state.
+/// Progress callback: (scheme label, workload name, completed count, total).
+/// Invoked after a cell's result has been committed, with the number of
+/// cells completed so far (1..total). The engine serializes invocations
+/// (one at a time, under a lock) and the count is monotonic, so callbacks
+/// may keep unsynchronized state.
 using ProgressFn =
     std::function<void(const std::string&, const std::string&, int, int)>;
 

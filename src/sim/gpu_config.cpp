@@ -41,6 +41,8 @@ void GpuConfig::ApplyOverrides(const Config& overrides) {
   }
   num_vcs = static_cast<int>(overrides.GetInt("num_vcs", num_vcs));
   vc_depth = static_cast<int>(overrides.GetInt("vc_depth", vc_depth));
+  dynamic_epoch = static_cast<Cycle>(overrides.GetInt(
+      "dynamic_epoch", static_cast<std::int64_t>(dynamic_epoch)));
   allow_unsafe = overrides.GetBool("allow_unsafe", allow_unsafe);
   if (overrides.Contains("division")) {
     const std::string d = overrides.GetString("division");
@@ -137,6 +139,9 @@ void RegisterGpuConfigFlags(FlagSet& flags) {
                   parsed_by(ParseVcPolicy));
   flags.AddInt("num_vcs", def.num_vcs, "VCs per port", at_least(1));
   flags.AddInt("vc_depth", def.vc_depth, "flit slots per VC", at_least(1));
+  flags.AddInt("dynamic_epoch", static_cast<std::int64_t>(def.dynamic_epoch),
+               "cycles per dynamic VC partitioning epoch (vc_policy=dynamic)",
+               at_least(1));
   flags.AddBool("allow_unsafe", def.allow_unsafe,
                 "allow protocol-deadlock-unsafe configurations");
   flags.AddEnum("division", "virtual", "request/reply network division",
@@ -156,7 +161,7 @@ void RegisterGpuConfigFlags(FlagSet& flags) {
                static_cast<std::int64_t>(def.telemetry_max_windows),
                "telemetry window cap (0 = unbounded)", at_least(0));
   flags.AddString("scheduling", "full",
-                  "NoC component scheduling (full|active-set)",
+                  "NoC component scheduling (full|active-set|event)",
                   parsed_by(ParseSchedulingMode));
   flags.AddBool("ideal_noc", def.ideal_noc,
                 "replace the NoC with the contention-free ideal fabric");
@@ -193,6 +198,7 @@ std::string GpuConfig::Describe() const {
   }
   if (division == NetworkDivision::kPhysical) oss << ", dual physical nets";
   if (scheduling == SchedulingMode::kActiveSet) oss << ", active-set sched";
+  if (scheduling == SchedulingMode::kEvent) oss << ", event sched";
   return oss.str();
 }
 

@@ -130,12 +130,12 @@ TEST(SweepTest, ParallelProgressIsSerializedAndMonotonic) {
   options.lengths = RunLengths{100, 500};
   options.threads = 4;
   int calls = 0;
-  int last_done = -1;
+  int last_done = 0;
   // Unsynchronized state is safe: the engine serializes progress calls.
   options.progress = [&](const std::string&, const std::string&, int done,
                          int total) {
     EXPECT_EQ(total, 4);
-    EXPECT_EQ(done, last_done + 1);  // monotonic, no gaps
+    EXPECT_EQ(done, last_done + 1);  // completed count: monotonic, no gaps
     last_done = done;
     ++calls;
   };

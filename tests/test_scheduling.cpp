@@ -1,13 +1,16 @@
-// Tests of active-set scheduling: bit-identical results vs full-tick mode
-// across the design space, O(active) cost on idle networks, deadlock
-// watchdog parity, scheduler-coverage auditing, and the route-LUT fast
-// path agreeing with the analytic routing function.
+// Tests of active-set and event scheduling: bit-identical results vs
+// full-tick mode across the design space, O(active) cost on idle networks,
+// deadlock watchdog parity, scheduler-coverage auditing, snapshot/resume
+// under event scheduling, and the route-LUT fast path agreeing with the
+// analytic routing function.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "common/serialize.hpp"
 #include "noc/audit.hpp"
 #include "noc/network.hpp"
 #include "noc/placement.hpp"
@@ -25,10 +28,25 @@ namespace {
 TEST(SchedulingModeTest, NamesRoundTrip) {
   EXPECT_STREQ(SchedulingModeName(SchedulingMode::kFull), "full");
   EXPECT_STREQ(SchedulingModeName(SchedulingMode::kActiveSet), "active-set");
+  EXPECT_STREQ(SchedulingModeName(SchedulingMode::kEvent), "event");
   EXPECT_EQ(ParseSchedulingMode("full"), SchedulingMode::kFull);
   EXPECT_EQ(ParseSchedulingMode("active-set"), SchedulingMode::kActiveSet);
   EXPECT_EQ(ParseSchedulingMode("ACTIVE"), SchedulingMode::kActiveSet);
+  EXPECT_EQ(ParseSchedulingMode("event"), SchedulingMode::kEvent);
+  EXPECT_EQ(ParseSchedulingMode("EVENT"), SchedulingMode::kEvent);
   EXPECT_THROW(ParseSchedulingMode("lazy"), std::invalid_argument);
+}
+
+// A zero dynamic epoch would spin the router/NIC boundary catch-up loops
+// forever; the network must refuse it up front with an actionable error.
+TEST(SchedulingModeTest, RejectsZeroDynamicEpoch) {
+  NetworkConfig cfg;
+  cfg.vc_policy = VcPolicyKind::kDynamic;
+  cfg.dynamic_epoch = 0;
+  EXPECT_THROW(Network net(cfg), std::invalid_argument);
+  // Irrelevant for static policies: the loops never run.
+  cfg.vc_policy = VcPolicyKind::kSplit;
+  EXPECT_NO_THROW(Network net(cfg));
 }
 
 // --- bit identity, network level -------------------------------------------
@@ -81,9 +99,9 @@ std::string NetworkFingerprint(NetworkConfig cfg, SchedulingMode mode,
   return out.str();
 }
 
-// kFull and kActiveSet must agree bit-for-bit — stats, audit counters and
-// telemetry windows — for every routing x VC-policy combination, with the
-// auditor and telemetry sampler running in both modes.
+// kFull, kActiveSet and kEvent must agree bit-for-bit — stats, audit
+// counters and telemetry windows — for every routing x VC-policy
+// combination, with the auditor and telemetry sampler running in all modes.
 TEST(SchedulingBitIdentityTest, OpenLoopMatrixMatchesFullMode) {
   const RoutingAlgorithm routings[] = {
       RoutingAlgorithm::kXY, RoutingAlgorithm::kYX, RoutingAlgorithm::kXYYX};
@@ -106,8 +124,35 @@ TEST(SchedulingBitIdentityTest, OpenLoopMatrixMatchesFullMode) {
           NetworkFingerprint(cfg, SchedulingMode::kFull, 0.1);
       const std::string active =
           NetworkFingerprint(cfg, SchedulingMode::kActiveSet, 0.1);
+      const std::string event =
+          NetworkFingerprint(cfg, SchedulingMode::kEvent, 0.1);
       EXPECT_EQ(full, active) << label;
+      EXPECT_EQ(full, event) << label;
     }
+  }
+}
+
+// The equivalence must also hold on the non-mesh topologies, whose extra
+// wrap links and concentration change the wake-site graph.
+TEST(SchedulingBitIdentityTest, TopologyMatrixMatchesFullMode) {
+  const TopologyKind topologies[] = {TopologyKind::kTorus,
+                                     TopologyKind::kCMesh,
+                                     TopologyKind::kCirculant};
+  for (TopologyKind topology : topologies) {
+    NetworkConfig cfg;
+    cfg.topology = topology;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.num_vcs = 4;
+    cfg.vc_depth = 4;
+    const std::string label = TopologyName(topology);
+    const std::string full = NetworkFingerprint(cfg, SchedulingMode::kFull, 0.1);
+    const std::string active =
+        NetworkFingerprint(cfg, SchedulingMode::kActiveSet, 0.1);
+    const std::string event =
+        NetworkFingerprint(cfg, SchedulingMode::kEvent, 0.1);
+    EXPECT_EQ(full, active) << label;
+    EXPECT_EQ(full, event) << label;
   }
 }
 
@@ -122,7 +167,10 @@ TEST(SchedulingBitIdentityTest, HighLoadMatchesFullMode) {
   const std::string full = NetworkFingerprint(cfg, SchedulingMode::kFull, 0.4);
   const std::string active =
       NetworkFingerprint(cfg, SchedulingMode::kActiveSet, 0.4);
+  const std::string event =
+      NetworkFingerprint(cfg, SchedulingMode::kEvent, 0.4);
   EXPECT_EQ(full, active);
+  EXPECT_EQ(full, event);
 }
 
 // --- bit identity, full GPU model ------------------------------------------
@@ -194,6 +242,10 @@ TEST(SchedulingBitIdentityTest, GpuDesignSpaceMatchesFullMode) {
           GpuSystem active(cfg, FindWorkload("BFS"));
           const GpuRunStats b = active.Run(/*warmup=*/100, /*measure=*/300);
           ExpectRunsEqual(a, b, label);
+          cfg.scheduling = SchedulingMode::kEvent;
+          GpuSystem event(cfg, FindWorkload("BFS"));
+          const GpuRunStats c = event.Run(/*warmup=*/100, /*measure=*/300);
+          ExpectRunsEqual(a, c, label + " (event)");
           ++compared;
         } catch (const std::invalid_argument&) {
           // Deadlock-unsafe combination: correctly refused up front.
@@ -213,10 +265,14 @@ TEST(SchedulingBitIdentityTest, SweepOverrideMatchesFullMode) {
   opts.scheduling = SchedulingMode::kActiveSet;
   const SweepResult active =
       RunSweep({scheme}, {FindWorkload("KMN")}, opts);
+  opts.scheduling = SchedulingMode::kEvent;
+  const SweepResult event = RunSweep({scheme}, {FindWorkload("KMN")}, opts);
   opts.scheduling = SchedulingMode::kFull;
   const SweepResult full = RunSweep({scheme}, {FindWorkload("KMN")}, opts);
   ExpectRunsEqual(full.Get("baseline", "KMN"), active.Get("baseline", "KMN"),
                   "sweep override");
+  ExpectRunsEqual(full.Get("baseline", "KMN"), event.Get("baseline", "KMN"),
+                  "sweep override (event)");
 }
 
 // --- O(active) cost --------------------------------------------------------
@@ -230,6 +286,14 @@ TEST(SchedulingCostTest, IdleNetworkTicksNoComponents) {
   for (int c = 0; c < 1000; ++c) net.Tick();
   EXPECT_EQ(net.TickSteps(), 0u);
 
+  // Event mode schedules zero wakes on an idle 8x8 network: time advances
+  // without a single component tick.
+  cfg.scheduling = SchedulingMode::kEvent;
+  Network event(cfg);
+  for (int c = 0; c < 1000; ++c) event.Tick();
+  EXPECT_EQ(event.TickSteps(), 0u);
+  EXPECT_EQ(event.now(), 1000u);
+
   cfg.scheduling = SchedulingMode::kFull;
   Network full(cfg);
   for (int c = 0; c < 1000; ++c) full.Tick();
@@ -239,9 +303,9 @@ TEST(SchedulingCostTest, IdleNetworkTicksNoComponents) {
 
 // A single packet wakes only the components on its path; the step count
 // stays far below the full-tick bill for the same run.
-TEST(SchedulingCostTest, SparseTrafficTicksFewComponents) {
+std::uint64_t SparseTrafficSteps(SchedulingMode mode) {
   NetworkConfig cfg;
-  cfg.scheduling = SchedulingMode::kActiveSet;
+  cfg.scheduling = mode;
   Network net(cfg);
   struct Sink : PacketSink {
     bool Accept(const Packet&, Cycle) override { return true; }
@@ -252,12 +316,23 @@ TEST(SchedulingCostTest, SparseTrafficTicksFewComponents) {
   p.dst = net.num_nodes() - 1;
   p.type = PacketType::kReadRequest;
   p.num_flits = 2;
-  ASSERT_TRUE(net.Inject(p));
-  ASSERT_TRUE(net.Drain(1000));
-  const std::uint64_t active_steps = net.TickSteps();
-  EXPECT_GT(active_steps, 0u);
+  EXPECT_TRUE(net.Inject(p));
+  EXPECT_TRUE(net.Drain(1000));
+  const std::uint64_t steps = net.TickSteps();
+  EXPECT_GT(steps, 0u);
   // Full mode would have stepped all ~384 components x ~30+ cycles.
-  EXPECT_LT(active_steps, net.now() * 128u / 4u);
+  EXPECT_LT(steps, net.now() * 128u / 4u);
+  return steps;
+}
+
+TEST(SchedulingCostTest, SparseTrafficTicksFewComponents) {
+  const std::uint64_t active_steps =
+      SparseTrafficSteps(SchedulingMode::kActiveSet);
+  // Event mode only visits components at their scheduled wakes, so it never
+  // does more work than the dirty-list sweep on the same traffic.
+  const std::uint64_t event_steps =
+      SparseTrafficSteps(SchedulingMode::kEvent);
+  EXPECT_LE(event_steps, active_steps);
 }
 
 // --- watchdog parity -------------------------------------------------------
@@ -297,16 +372,80 @@ TEST(SchedulingWatchdogTest, FiresUnderActiveSetAtTheSameCycle) {
   EXPECT_EQ(full, active);
 }
 
+TEST(SchedulingWatchdogTest, FiresUnderEventAtTheSameCycle) {
+  const Cycle full = DeadlockCycle(SchedulingMode::kFull);
+  const Cycle event = DeadlockCycle(SchedulingMode::kEvent);
+  ASSERT_GT(full, 0u) << "watchdog never fired in full mode";
+  EXPECT_EQ(full, event);
+}
+
+// Satellite regression (ISSUE 7): a snapshot taken mid-stall must restore
+// the watchdog's baseline exactly, so a resumed run neither trips a
+// spurious deadlock (baseline too old) nor masks the real one (baseline
+// reset to the restore cycle). The resumed network must declare deadlock
+// at the same cycle as the uninterrupted run.
+TEST(SchedulingWatchdogTest, CheckpointMidStallKeepsDeadlockCycle) {
+  const auto make_net = [](auto& sink) {
+    NetworkConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.deadlock_threshold = 200;
+    auto net = std::make_unique<Network>(cfg);
+    for (NodeId n = 0; n < net->num_nodes(); ++n) net->SetSink(n, &sink);
+    return net;
+  };
+  struct RefusingSink : PacketSink {
+    bool Accept(const Packet&, Cycle) override { return false; }
+  } sink;
+
+  auto reference = make_net(sink);
+  Packet p;
+  p.src = 0;
+  p.dst = 15;
+  p.type = PacketType::kReadRequest;
+  p.num_flits = 3;
+  ASSERT_TRUE(reference->Inject(p));
+  Cycle uninterrupted = 0;
+  Serializer snap;
+  for (int c = 0; c < 2000; ++c) {
+    // Snapshot 120 cycles into the stall — past the last progress event,
+    // well before the threshold fires.
+    if (reference->now() == 120) reference->Save(snap);
+    reference->Tick();
+    if (reference->Deadlocked()) {
+      uninterrupted = reference->now();
+      break;
+    }
+  }
+  ASSERT_GT(uninterrupted, 0u) << "watchdog never fired uninterrupted";
+
+  auto resumed = make_net(sink);
+  Deserializer d(snap.bytes());
+  resumed->Load(d);
+  d.Finish();
+  EXPECT_FALSE(resumed->Deadlocked()) << "spurious deadlock on restore";
+  Cycle after_resume = 0;
+  for (int c = 0; c < 2000; ++c) {
+    resumed->Tick();
+    if (resumed->Deadlocked()) {
+      after_resume = resumed->now();
+      break;
+    }
+  }
+  ASSERT_GT(after_resume, 0u) << "restore masked the real deadlock";
+  EXPECT_EQ(after_resume, uninterrupted);
+}
+
 // --- scheduler-coverage invariant ------------------------------------------
 
-// Knocking every component off the dirty lists while flits are in flight
-// is a scheduler bug by construction; the auditor's coverage sweep must
-// report it.
-TEST(SchedulingCoverageTest, ForceSleepTripsCoverageInvariant) {
+// Knocking every component off the scheduler (dirty lists or event queue)
+// while flits are in flight is a scheduler bug by construction; the
+// auditor's coverage sweep must report it in both skipping modes.
+void ExpectForceSleepTripsCoverage(SchedulingMode mode) {
   NetworkConfig cfg;
   cfg.width = 4;
   cfg.height = 4;
-  cfg.scheduling = SchedulingMode::kActiveSet;
+  cfg.scheduling = mode;
   cfg.audit = true;
   cfg.audit_interval = 1;
   Network net(cfg);
@@ -328,19 +467,28 @@ TEST(SchedulingCoverageTest, ForceSleepTripsCoverageInvariant) {
   EXPECT_GT(
       r.by_invariant[static_cast<std::size_t>(
           AuditInvariant::kSchedulerCoverage)],
-      0u);
-  EXPECT_FALSE(r.clean());
+      0u)
+      << SchedulingModeName(mode);
+  EXPECT_FALSE(r.clean()) << SchedulingModeName(mode);
   EXPECT_STREQ(AuditInvariantName(AuditInvariant::kSchedulerCoverage),
                "scheduler-coverage");
 }
 
+TEST(SchedulingCoverageTest, ForceSleepTripsCoverageInvariant) {
+  ExpectForceSleepTripsCoverage(SchedulingMode::kActiveSet);
+}
+
+TEST(SchedulingCoverageTest, ForceSleepTripsCoverageInvariantUnderEvent) {
+  ExpectForceSleepTripsCoverage(SchedulingMode::kEvent);
+}
+
 // A clean run must never trip the coverage invariant: every wake hook is
-// in place, so the sweep finds nothing unlisted.
-TEST(SchedulingCoverageTest, CleanRunHasFullCoverage) {
+// in place, so the sweep finds nothing untracked.
+void ExpectCleanRunHasFullCoverage(SchedulingMode mode) {
   NetworkConfig cfg;
   cfg.width = 4;
   cfg.height = 4;
-  cfg.scheduling = SchedulingMode::kActiveSet;
+  cfg.scheduling = mode;
   cfg.audit = true;
   cfg.audit_interval = 1;
   Network net(cfg);
@@ -356,7 +504,83 @@ TEST(SchedulingCoverageTest, CleanRunHasFullCoverage) {
   ASSERT_TRUE(net.Drain(10000));
   const AuditReport r = net.AuditResults();
   EXPECT_TRUE(r.clean())
+      << SchedulingModeName(mode) << ": "
       << (r.samples.empty() ? std::string() : r.samples[0].detail);
+}
+
+TEST(SchedulingCoverageTest, CleanRunHasFullCoverage) {
+  ExpectCleanRunHasFullCoverage(SchedulingMode::kActiveSet);
+}
+
+TEST(SchedulingCoverageTest, CleanRunHasFullCoverageUnderEvent) {
+  ExpectCleanRunHasFullCoverage(SchedulingMode::kEvent);
+}
+
+// --- snapshot/resume under event scheduling --------------------------------
+
+// Saving mid-run and restoring into a fresh event-mode network must resume
+// bit-identically: the event queue (heap order included) round-trips, so
+// the resumed run's serialized state equals the uninterrupted run's.
+TEST(SchedulingSnapshotTest, EventModeResumesBitIdentically) {
+  NetworkConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  cfg.num_vcs = 4;
+  cfg.vc_depth = 4;
+  cfg.vc_policy = VcPolicyKind::kDynamic;
+  cfg.dynamic_epoch = 64;
+  cfg.scheduling = SchedulingMode::kEvent;
+
+  struct Sink : PacketSink {
+    bool Accept(const Packet&, Cycle) override { return true; }
+  } sink;
+  const auto make_net = [&] {
+    auto net = std::make_unique<Network>(cfg);
+    for (NodeId n = 0; n < net->num_nodes(); ++n) net->SetSink(n, &sink);
+    return net;
+  };
+  // Deterministic all-to-all burst: plenty of contention mid-flight.
+  const auto inject_burst = [](Network& net) {
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      Packet p;
+      p.src = n;
+      p.dst = net.num_nodes() - 1 - n;
+      if (p.dst == p.src) continue;
+      p.type = PacketType::kReadRequest;
+      p.num_flits = 4;
+      ASSERT_TRUE(net.Inject(p));
+    }
+  };
+  const auto fingerprint = [](Network& net) {
+    Serializer out;
+    net.Save(out);
+    return out.TakeBytes();
+  };
+
+  // Uninterrupted run: burst, then 500 cycles (drains and then idles over
+  // several dynamic-epoch boundaries).
+  auto plain = make_net();
+  inject_burst(*plain);
+  for (int c = 0; c < 500; ++c) plain->Tick();
+
+  // Interrupted run: snapshot at cycle 10 while flits are in flight,
+  // restore into a fresh network, replay the remaining cycles.
+  auto first = make_net();
+  inject_burst(*first);
+  for (int c = 0; c < 10; ++c) first->Tick();
+  ASSERT_GT(first->FlitsInFlight(), 0u) << "snapshot caught an idle instant";
+  Serializer s;
+  first->Save(s);
+
+  auto second = make_net();
+  Deserializer d(s.bytes());
+  second->Load(d);
+  d.Finish();
+  EXPECT_GT(second->FlitsInFlight(), 0u);
+  for (int c = 0; c < 490; ++c) second->Tick();
+
+  EXPECT_EQ(fingerprint(*plain), fingerprint(*second));
+  EXPECT_EQ(plain->TickSteps(), second->TickSteps());
 }
 
 // --- route LUT -------------------------------------------------------------
