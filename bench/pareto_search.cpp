@@ -1,0 +1,152 @@
+// Pareto design-space search driver (DESIGN.md §13): explores the
+// {placement x routing x VC policy x topology x VC count x VC depth}
+// space for the frontier of {IPC, mean latency, p99 latency, buffer
+// area} and writes the pareto.json artifact.
+//
+//   pareto_search                              # NSGA-II over the paper
+//                                              # space, budget 96
+//   pareto_search strategy=grid max_evaluations=0   # exhaustive oracle
+//   pareto_search routings=xy,yx vc_counts=2,4 radix=4 workloads=BFS
+//       scale=0.1 out=/tmp/pareto.json              # quick sub-space
+//
+// Shares the sweep flags (scale=, workloads=, threads=, checkpoint_dir=,
+// resume=); EXPERIMENTS.md has the full worked example.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dse/search.hpp"
+
+namespace gnoc::bench {
+namespace {
+
+std::vector<std::string> SplitList(const std::string& list) {
+  std::vector<std::string> out;
+  std::istringstream iss(list);
+  std::string token;
+  while (std::getline(iss, token, ',')) {
+    token = TrimToken(token);
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+/// Replaces one axis when its flag was given; "" keeps the paper default.
+template <typename T, typename ParseFn>
+void OverrideAxis(std::vector<T>& axis, const std::string& list,
+                  ParseFn parse) {
+  const std::vector<std::string> names = SplitList(list);
+  if (names.empty()) return;
+  axis.clear();
+  for (const std::string& name : names) axis.push_back(parse(name));
+}
+
+int Main(int argc, char** argv) {
+  const auto positive = [](std::int64_t v) {
+    return v < 1 ? std::string("must be >= 1") : std::string();
+  };
+  BenchOptions opts = ParseBenchOptions(
+      argc, argv, "pareto_search",
+      "multi-objective design-space search: NSGA-II / random / grid over "
+      "the NoC configuration axes",
+      [&](FlagSet& f) {
+        f.AddEnum("strategy", "nsga2", "batch proposal strategy",
+                  {"nsga2", "random", "grid"});
+        f.AddString("objectives", "ipc,mean_latency,p99_latency,buffer_area",
+                    "comma list: ipc, mean_latency, p99_latency, buffer_area");
+        f.AddInt("population", 16, "designs proposed per batch", positive);
+        f.AddInt("max_evaluations", 96,
+                 "feasible-design budget (0 = exhaust the space)",
+                 NonNegative());
+        f.AddInt("seed", 1, "search RNG seed", NonNegative());
+        f.AddString("out", "pareto.json", "frontier artifact path");
+        f.AddString("placements", "",
+                    "axis override, e.g. bottom,edge (empty = paper axis)");
+        f.AddString("routings", "", "axis override, e.g. xy,yx");
+        f.AddString("vc_policies", "", "axis override, e.g. split,mono");
+        f.AddString("topologies", "", "axis override, e.g. mesh,torus");
+        f.AddString("vc_counts", "", "axis override, e.g. 2,4");
+        f.AddString("vc_depths", "", "axis override, e.g. 4,8");
+      });
+
+  DesignSpace space = DesignSpace::Default();
+  OverrideAxis(space.placements, opts.raw.GetString("placements", ""),
+               ParseMcPlacement);
+  OverrideAxis(space.routings, opts.raw.GetString("routings", ""),
+               ParseRouting);
+  OverrideAxis(space.vc_policies, opts.raw.GetString("vc_policies", ""),
+               ParseVcPolicy);
+  OverrideAxis(space.topologies, opts.raw.GetString("topologies", ""),
+               ParseTopology);
+  OverrideAxis(space.vc_counts, opts.raw.GetString("vc_counts", ""),
+               [](const std::string& s) { return std::stoi(s); });
+  OverrideAxis(space.vc_depths, opts.raw.GetString("vc_depths", ""),
+               [](const std::string& s) { return std::stoi(s); });
+  // radix= reshapes the base grid under the axes (the axes themselves
+  // carry topology/VC choices, so only the size shorthand applies here).
+  if (opts.raw.Contains("radix")) {
+    Config sub;
+    sub.Set("radix", opts.raw.GetString("radix", ""));
+    space.base.ApplyOverrides(sub);
+  }
+
+  SearchOptions sopt;
+  sopt.strategy = ParseSearchStrategy(opts.raw.GetString("strategy"));
+  const std::vector<std::string> objective_names =
+      SplitList(opts.raw.GetString("objectives", ""));
+  if (!objective_names.empty()) {
+    sopt.objectives.clear();
+    for (const std::string& name : objective_names) {
+      sopt.objectives.push_back(ParseSearchObjective(name));
+    }
+  }
+  sopt.population = static_cast<int>(opts.raw.GetInt("population", 16));
+  sopt.max_evaluations =
+      static_cast<int>(opts.raw.GetInt("max_evaluations", 96));
+  sopt.seed = static_cast<std::uint64_t>(opts.raw.GetInt("seed", 1));
+  sopt.lengths = opts.lengths;
+  sopt.threads = opts.threads;
+  sopt.progress = StderrProgress();
+  sopt.checkpoint_dir = opts.checkpoint_dir;
+  sopt.resume = opts.resume;
+
+  const std::uint64_t num_points = space.NumPoints();
+  std::cerr << "pareto_search: " << SearchStrategyName(sopt.strategy)
+            << " over " << num_points << " designs, budget "
+            << sopt.max_evaluations << ", " << opts.workloads.size()
+            << " workload(s)\n";
+
+  const ParetoResult result = ParetoSearch(space, opts.workloads, sopt);
+
+  TextTable table({"design", "ipc", "mean_lat", "p99_lat", "area_flits"});
+  for (const std::size_t i : result.FrontierIndices()) {
+    const EvaluatedDesign& d = result.designs[i];
+    table.AddRow(d.label, {d.ipc, d.mean_packet_latency, d.p99_packet_latency,
+                           d.buffer_area_flits});
+  }
+  Emit(table, opts.csv);
+  std::cerr << "pareto_search: " << result.evaluations << " evaluation(s), "
+            << result.generations << " generation(s), frontier "
+            << result.FrontierIndices().size() << "/" << result.designs.size()
+            << (result.completed ? "" : " [preempted]") << '\n';
+
+  const std::string out = opts.raw.GetString("out", "pareto.json");
+  if (!out.empty()) {
+    result.WriteJsonFile(out);
+    std::cerr << "pareto_search: wrote " << out << '\n';
+  }
+  return result.completed ? 0 : 3;
+}
+
+}  // namespace
+}  // namespace gnoc::bench
+
+int main(int argc, char** argv) {
+  try {
+    return gnoc::bench::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "pareto_search: " << e.what() << '\n';
+    return 1;
+  }
+}

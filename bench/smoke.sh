@@ -234,6 +234,43 @@ EOF
   fi
 done
 
+# DSE pass: a quick Pareto search over a 16-point sub-space (grid
+# strategy, ground truth for the size) must complete, write a parseable
+# pareto.json and report a non-empty frontier with full per-point configs.
+DSE_OUT=${GNOC_SMOKE_DSE_JSON:-/tmp/smoke_pareto.json}
+DSE_HARNESS="$BUILD_DIR/bench/pareto_search"
+echo "smoke: $DSE_HARNESS strategy=grid radix=4 16-point sub-space" >&2
+"$DSE_HARNESS" strategy=grid max_evaluations=0 radix=4 workloads=BFS \
+    scale=0.1 placements=bottom topologies=mesh routings=xy,yx \
+    vc_policies=split,mono vc_counts=2,4 vc_depths=2,4 \
+    out="$DSE_OUT" > /dev/null
+if [[ ! -s "$DSE_OUT" ]]; then
+  echo "smoke: FAIL — $DSE_OUT missing or empty" >&2
+  exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$DSE_OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["completed"], "search did not complete"
+assert doc["num_designs"] == 16, "expected 16 designs, got %d" % \
+    doc["num_designs"]
+assert doc["frontier_size"] >= 1, "empty frontier"
+frontier = [d for d in doc["designs"] if d["feasible"] and not d["dominated"]]
+assert len(frontier) == doc["frontier_size"], "frontier label mismatch"
+for d in frontier:
+    assert d["config"]["num_vcs"] in (2, 4), "bad config in frontier point"
+    assert d["metrics"]["ipc"] > 0, "frontier point with zero IPC"
+print("smoke: dse ok — %d designs, frontier %d, e.g. %s" %
+      (doc["num_designs"], doc["frontier_size"], frontier[0]["label"]))
+EOF
+else
+  grep -q '"frontier_size"' "$DSE_OUT" || {
+    echo "smoke: FAIL — no frontier in pareto.json" >&2; exit 1; }
+  echo "smoke: dse ok (structural check only; python3 not found)" >&2
+fi
+
 # Sixth pass: one UBSan config, when an undefined-sanitizer tree exists
 # (any UB aborts the harness because the tree builds with
 # -fno-sanitize-recover=undefined).

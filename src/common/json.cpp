@@ -397,6 +397,12 @@ const std::vector<JsonValue>& JsonValue::AsArray() const {
   return array_;
 }
 
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::AsObject()
+    const {
+  if (kind_ != Kind::kObject) KindMismatch("an object");
+  return members_;
+}
+
 const JsonValue* JsonValue::Find(const std::string& key) const {
   if (kind_ != Kind::kObject) KindMismatch("an object");
   for (const auto& [k, v] : members_) {

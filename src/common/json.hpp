@@ -102,6 +102,10 @@ class JsonValue {
   const JsonValue* Find(const std::string& key) const;
   const JsonValue& At(const std::string& key) const;
 
+  /// Object members in document order (key, value). Throws on non-objects;
+  /// lets callers iterate free-form objects (e.g. job-spec config blocks).
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
  private:
   friend class JsonParser;
 

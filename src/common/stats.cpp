@@ -108,11 +108,19 @@ double Histogram::Percentile(double p) const {
   return stats_.max();
 }
 
+Histogram::Percentiles Histogram::SummaryPercentiles() const {
+  return {Percentile(50), Percentile(95), Percentile(99)};
+}
+
 double GeometricMean(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
   double log_sum = 0.0;
   for (double v : values) {
-    assert(v > 0.0);
+    // A non-positive factor (e.g. a speedup over a zero-IPC or deadlocked
+    // baseline) drives the product to zero (or makes it meaningless); the
+    // continuous limit is 0, so return that instead of emitting NaN/-inf
+    // into summaries and JSON output.
+    if (v <= 0.0) return 0.0;
     log_sum += std::log(v);
   }
   return std::exp(log_sum / static_cast<double>(values.size()));

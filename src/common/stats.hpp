@@ -79,6 +79,15 @@ class Histogram {
   /// for every p (tested behaviour, not an accident).
   double Percentile(double p) const;
 
+  /// The three percentiles dashboards and search objectives care about,
+  /// extracted in one pass-friendly call (see Percentile for semantics).
+  struct Percentiles {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Percentiles SummaryPercentiles() const;
+
   /// Snapshot support: geometry must already match (buckets are restored
   /// in place, widths included).
   void Save(Serializer& s) const;
@@ -90,8 +99,10 @@ class Histogram {
   RunningStats stats_;
 };
 
-/// Geometric mean of a set of strictly positive values.
-/// Returns 0 for an empty input. Values <= 0 are rejected by assertion.
+/// Geometric mean of a set of values. Returns 0 for an empty input or when
+/// any value is <= 0 (the product's continuous limit), so summaries over
+/// degenerate sweeps (zero-IPC baselines, deadlocked cells) never produce
+/// NaN or -inf.
 double GeometricMean(const std::vector<double>& values);
 
 /// Arithmetic mean; 0 for empty input.

@@ -1,0 +1,96 @@
+#include "dse/pareto.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace gnoc {
+
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(!a.empty());
+  assert(a.size() == b.size());
+  bool strictly_better = false;
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    if (a[m] > b[m]) return false;
+    if (a[m] < b[m]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::vector<std::size_t>> NonDominatedSort(
+    const std::vector<std::vector<double>>& objectives) {
+  const std::size_t n = objectives.size();
+  std::vector<std::vector<std::size_t>> fronts;
+  if (n == 0) return fronts;
+
+  // dominated_by[i]: how many points dominate i (still unassigned).
+  // dominates[i]: the points i dominates.
+  std::vector<int> dominated_by(n, 0);
+  std::vector<std::vector<std::size_t>> dominates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (Dominates(objectives[i], objectives[j])) {
+        dominates[i].push_back(j);
+        ++dominated_by[j];
+      } else if (Dominates(objectives[j], objectives[i])) {
+        dominates[j].push_back(i);
+        ++dominated_by[i];
+      }
+    }
+  }
+
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dominated_by[i] == 0) current.push_back(i);
+  }
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (const std::size_t i : current) {
+      for (const std::size_t j : dominates[i]) {
+        if (--dominated_by[j] == 0) next.push_back(j);
+      }
+    }
+    // Peeling in index order keeps each front sorted ascending, so the
+    // output is deterministic regardless of discovery order.
+    std::sort(next.begin(), next.end());
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<double> CrowdingDistance(
+    const std::vector<std::vector<double>>& objectives,
+    const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  if (n <= 2) return std::vector<double>(n, kInf);
+
+  const std::size_t num_objectives = objectives[front[0]].size();
+  // order[k] indexes into `front`/`distance`, sorted by objective m.
+  std::vector<std::size_t> order(n);
+  for (std::size_t m = 0; m < num_objectives; ++m) {
+    for (std::size_t k = 0; k < n; ++k) order[k] = k;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return objectives[front[a]][m] < objectives[front[b]][m];
+                     });
+    const double lo = objectives[front[order.front()]][m];
+    const double hi = objectives[front[order.back()]][m];
+    distance[order.front()] = kInf;
+    distance[order.back()] = kInf;
+    const double spread = hi - lo;
+    if (spread <= 0.0) continue;  // all equal in this objective
+    for (std::size_t k = 1; k + 1 < n; ++k) {
+      if (distance[order[k]] == kInf) continue;
+      const double below = objectives[front[order[k - 1]]][m];
+      const double above = objectives[front[order[k + 1]]][m];
+      distance[order[k]] += (above - below) / spread;
+    }
+  }
+  return distance;
+}
+
+}  // namespace gnoc

@@ -1,0 +1,40 @@
+// Multi-objective (Pareto) ranking primitives: dominance, fast
+// non-dominated sorting and crowding distance (Deb et al., NSGA-II).
+//
+// Everything here is pure math over objective vectors — no simulator
+// types — so the search engine's selection logic is unit-testable on
+// hand-built fronts. All objectives are MINIMIZED; callers negate
+// maximization objectives (e.g. IPC) before ranking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gnoc {
+
+/// True when `a` Pareto-dominates `b`: a is no worse in every objective and
+/// strictly better in at least one (minimization). Vectors must have equal,
+/// non-zero length. Equal vectors do not dominate each other.
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Fast non-dominated sort: partitions point indices into fronts.
+/// Front 0 is the non-dominated (Pareto) set; front k+1 is what becomes
+/// non-dominated once fronts 0..k are removed. Every index appears in
+/// exactly one front; duplicates of a front-0 point land in front 0 too
+/// (they do not dominate each other). O(M * N^2) like the original
+/// algorithm — fine for the population sizes a simulator-backed search
+/// can afford to evaluate.
+std::vector<std::vector<std::size_t>> NonDominatedSort(
+    const std::vector<std::vector<double>>& objectives);
+
+/// Crowding distance of each member of `front` (parallel to `front`):
+/// the sum over objectives of the normalized gap between each point's
+/// neighbours when the front is sorted along that objective. Boundary
+/// points (per-objective extremes) get +infinity so selection always
+/// keeps them. Objectives with zero spread contribute nothing. Fronts of
+/// size <= 2 are all-infinite.
+std::vector<double> CrowdingDistance(
+    const std::vector<std::vector<double>>& objectives,
+    const std::vector<std::size_t>& front);
+
+}  // namespace gnoc

@@ -1,0 +1,156 @@
+#include "dse/space.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "noc/deadlock.hpp"
+
+namespace gnoc {
+
+DesignSpace DesignSpace::Default() {
+  DesignSpace s;
+  s.placements = {McPlacement::kBottom, McPlacement::kEdge,
+                  McPlacement::kTopBottom, McPlacement::kDiamond};
+  s.routings = {RoutingAlgorithm::kXY, RoutingAlgorithm::kYX,
+                RoutingAlgorithm::kXYYX};
+  s.vc_policies = {VcPolicyKind::kSplit, VcPolicyKind::kFullMonopolize,
+                   VcPolicyKind::kPartialMonopolize, VcPolicyKind::kAsymmetric};
+  s.topologies = {TopologyKind::kMesh, TopologyKind::kTorus};
+  s.vc_counts = {2, 4};
+  s.vc_depths = {4, 8};
+  return s;
+}
+
+std::size_t DesignSpace::AxisSize(std::size_t axis) const {
+  switch (axis) {
+    case 0: return placements.size();
+    case 1: return routings.size();
+    case 2: return vc_policies.size();
+    case 3: return topologies.size();
+    case 4: return vc_counts.size();
+    case 5: return vc_depths.size();
+    default: assert(false && "axis out of range"); return 0;
+  }
+}
+
+std::uint64_t DesignSpace::NumPoints() const {
+  std::uint64_t n = 1;
+  for (std::size_t a = 0; a < kNumDesignAxes; ++a) {
+    const std::size_t size = AxisSize(a);
+    if (size == 0) {
+      throw std::invalid_argument("DesignSpace axis " + std::to_string(a) +
+                                  " is empty");
+    }
+    n *= size;
+  }
+  return n;
+}
+
+DesignPoint DesignSpace::PointAt(std::uint64_t index) const {
+  assert(index < NumPoints());
+  DesignPoint p;
+  // Last axis varies fastest (row-major over the axes).
+  for (std::size_t a = kNumDesignAxes; a-- > 0;) {
+    const std::uint64_t size = AxisSize(a);
+    p.coord[a] = static_cast<std::uint16_t>(index % size);
+    index /= size;
+  }
+  return p;
+}
+
+namespace {
+
+/// Bounds-checked axis lookup shared by MakeConfig/PointLabel.
+template <typename T>
+const T& AxisValue(const std::vector<T>& axis, std::uint16_t idx) {
+  assert(idx < axis.size());
+  return axis[idx];
+}
+
+}  // namespace
+
+GpuConfig MakeConfig(const DesignSpace& space, const DesignPoint& point) {
+  GpuConfig cfg = space.base;
+  cfg.placement = AxisValue(space.placements, point.coord[0]);
+  cfg.routing = AxisValue(space.routings, point.coord[1]);
+  cfg.vc_policy = AxisValue(space.vc_policies, point.coord[2]);
+  cfg.topology = AxisValue(space.topologies, point.coord[3]);
+  cfg.num_vcs = AxisValue(space.vc_counts, point.coord[4]);
+  cfg.vc_depth = AxisValue(space.vc_depths, point.coord[5]);
+  return cfg;
+}
+
+std::string PointLabel(const DesignSpace& space, const DesignPoint& point) {
+  std::ostringstream oss;
+  oss << McPlacementName(AxisValue(space.placements, point.coord[0])) << '/'
+      << RoutingName(AxisValue(space.routings, point.coord[1])) << '/'
+      << VcPolicyName(AxisValue(space.vc_policies, point.coord[2])) << '/'
+      << TopologyName(AxisValue(space.topologies, point.coord[3])) << '/'
+      << AxisValue(space.vc_counts, point.coord[4]) << 'v' << 'x'
+      << AxisValue(space.vc_depths, point.coord[5]);
+  return oss.str();
+}
+
+std::string DesignInfeasibility(const DesignSpace& space,
+                                const DesignPoint& point) {
+  const GpuConfig cfg = MakeConfig(space, point);
+
+  // VcPolicy asserts (not throws) on partitioning policies with a single
+  // VC, so that case must be caught before any policy object exists.
+  const bool partitions = cfg.vc_policy != VcPolicyKind::kFullMonopolize;
+  if (partitions && cfg.num_vcs < 2) {
+    return std::string("policy '") + VcPolicyName(cfg.vc_policy) +
+           "' partitions VCs and needs num_vcs >= 2";
+  }
+
+  try {
+    const Topology topo = Topology::Make(cfg.topology, cfg.width, cfg.height,
+                                         cfg.circulant_s1, cfg.circulant_s2);
+    const TilePlan plan(cfg.width, cfg.height, cfg.num_mcs, cfg.placement);
+    ValidatePolicyOrThrow(topo, plan, cfg.routing, cfg.vc_policy,
+                          cfg.allow_unsafe);
+    if (topo.has_datelines()) {
+      // Mirror of Network's ValidateDatelineVcs: wrap links split each
+      // class's VC range into pre-/post-dateline halves.
+      if (cfg.vc_policy == VcPolicyKind::kDynamic) {
+        return std::string("topology '") + TopologyName(cfg.topology) +
+               "' cannot use dynamic partitioning (dateline VC halves)";
+      }
+      const VcPolicy policy(cfg.vc_policy, cfg.num_vcs);
+      for (int c = 0; c < kNumClasses; ++c) {
+        for (const LinkMode mode :
+             {LinkMode::kMixed, LinkMode::kSingleClass}) {
+          if (policy
+                  .AllowedVcs(static_cast<TrafficClass>(c), Port::kNorth, mode)
+                  .size() < 2) {
+            return std::string("topology '") + TopologyName(cfg.topology) +
+                   "' needs >= 2 VCs per class for dateline halves";
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+double BufferAreaFlits(const DesignSpace& space, const DesignPoint& point) {
+  const GpuConfig cfg = MakeConfig(space, point);
+  // Invalid topologies have no meaningful area; report the degenerate
+  // router-less value instead of throwing (the caller already knows the
+  // point is infeasible from DesignInfeasibility).
+  try {
+    const Topology topo = Topology::Make(cfg.topology, cfg.width, cfg.height,
+                                         cfg.circulant_s1, cfg.circulant_s2);
+    return static_cast<double>(topo.num_routers()) *
+           static_cast<double>(topo.radix()) *
+           static_cast<double>(cfg.num_vcs) *
+           static_cast<double>(cfg.vc_depth);
+  } catch (const std::exception&) {
+    return 0.0;
+  }
+}
+
+}  // namespace gnoc

@@ -127,6 +127,11 @@ void WriteStatsJson(JsonWriter& w, const GpuRunStats& stats) {
     w.Key("avg_packet_latency").Value(stats.network.packet_latency[cls].mean());
     w.Key("avg_network_latency")
         .Value(stats.network.network_latency[cls].mean());
+    const Histogram::Percentiles pct =
+        stats.network.latency_histogram[cls].SummaryPercentiles();
+    w.Key("p50_packet_latency").Value(pct.p50);
+    w.Key("p95_packet_latency").Value(pct.p95);
+    w.Key("p99_packet_latency").Value(pct.p99);
     w.EndObject();
   }
   w.Key("flits_forwarded").Value(stats.network.flits_forwarded);

@@ -192,6 +192,71 @@ TEST(SweepResultTest, WriteJsonEmitsCellsAndSummaries) {
   EXPECT_EQ(cells[3].workload, "W2");
 }
 
+TEST(SweepResultTest, JsonCarriesLatencyPercentiles) {
+  const std::vector<SchemeSpec> schemes{{"base", GpuConfig::Baseline()}};
+  const auto workloads = WorkloadSubset({"BFS"});
+  RunLengths lengths;
+  lengths.warmup = 300;
+  lengths.measure = 1500;
+  const SweepResult result = RunSweep(schemes, workloads, lengths);
+
+  std::ostringstream out;
+  result.WriteJson(out);
+  const JsonValue doc = JsonValue::Parse(out.str());
+  const JsonValue& net = doc.At("cells").AsArray().at(0).At("network");
+  for (const char* cls : {"request", "reply"}) {
+    const JsonValue& c = net.At(cls);
+    const double p50 = c.At("p50_packet_latency").AsNumber();
+    const double p95 = c.At("p95_packet_latency").AsNumber();
+    const double p99 = c.At("p99_packet_latency").AsNumber();
+    EXPECT_GT(p50, 0.0) << cls;
+    EXPECT_LE(p50, p95) << cls;
+    EXPECT_LE(p95, p99) << cls;
+    // The percentiles bracket the mean's neighborhood sanity-wise.
+    EXPECT_GE(p99, c.At("avg_packet_latency").AsNumber() * 0.5) << cls;
+  }
+}
+
+TEST(SweepResultTest, DegenerateSweepsProduceFiniteJson) {
+  // Zero-IPC cells (a deadlocked or empty measurement) must not leak
+  // NaN/inf into the JSON: speedups and geomeans degrade to 0 instead.
+  SweepResult zero({"base", "other"}, {"W1"});
+  GpuRunStats s;
+  s.ipc = 0.0;
+  zero.Set("base", "W1", s);
+  s.ipc = 2.0;
+  zero.Set("other", "W1", s);
+  EXPECT_DOUBLE_EQ(zero.Speedup("other", "W1", "base"), 0.0);
+  EXPECT_DOUBLE_EQ(zero.GeomeanSpeedup("other", "base"), 0.0);
+
+  std::ostringstream out;
+  zero.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  const JsonValue doc = JsonValue::Parse(json);  // must stay parseable
+  EXPECT_DOUBLE_EQ(doc.At("summary").At("geomean_speedup").At("other")
+                       .AsNumber(),
+                   0.0);
+
+  // A single-cell sweep: self-speedup is exactly 1, JSON parses.
+  SweepResult single({"only"}, {"W1"});
+  s.ipc = 1.5;
+  single.Set("only", "W1", s);
+  EXPECT_DOUBLE_EQ(single.GeomeanSpeedup("only", "only"), 1.0);
+  std::ostringstream sout;
+  single.WriteJson(sout);
+  EXPECT_NO_THROW(JsonValue::Parse(sout.str()));
+
+  // An empty sweep (no workloads) still writes a parseable document with a
+  // zero geomean rather than NaN from an empty product.
+  SweepResult empty({"a", "b"}, {});
+  EXPECT_DOUBLE_EQ(empty.GeomeanSpeedup("b", "a"), 0.0);
+  std::ostringstream eout;
+  empty.WriteJson(eout);
+  EXPECT_NO_THROW(JsonValue::Parse(eout.str()));
+}
+
 TEST(SweepTest, WorkloadSubsetThrowsOnUnknown) {
   EXPECT_THROW(WorkloadSubset({"BFS", "BOGUS"}), std::invalid_argument);
 }

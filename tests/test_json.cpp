@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "common/json.hpp"
@@ -119,6 +120,26 @@ TEST(JsonWriterTest, EscapesKeysAndValues) {
   JsonWriter w(out, 0);
   w.BeginObject().Key("we\"ird").Value("line\nbreak").EndObject();
   EXPECT_EQ(out.str(), "{\"we\\\"ird\":\"line\\nbreak\"}");
+}
+
+TEST(JsonValueTest, AsObjectIteratesMembersInDocumentOrder) {
+  const JsonValue doc =
+      JsonValue::Parse("{\"z\": 1, \"a\": \"two\", \"m\": true}");
+  const auto& members = doc.AsObject();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_DOUBLE_EQ(members[0].second.AsNumber(), 1.0);
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[1].second.AsString(), "two");
+  EXPECT_EQ(members[2].first, "m");
+  EXPECT_TRUE(members[2].second.AsBool());
+}
+
+TEST(JsonValueTest, AsObjectThrowsOnNonObjects) {
+  EXPECT_THROW(JsonValue::Parse("[1, 2]").AsObject(), std::invalid_argument);
+  EXPECT_THROW(JsonValue::Parse("42").AsObject(), std::invalid_argument);
+  EXPECT_THROW(JsonValue::Parse("null").AsObject(), std::invalid_argument);
+  EXPECT_TRUE(JsonValue::Parse("{}").AsObject().empty());
 }
 
 }  // namespace

@@ -99,6 +99,29 @@ TEST(HistogramTest, PercentileEmptyIsZero) {
   EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
 }
 
+TEST(HistogramTest, SummaryPercentilesMatchPercentile) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i) + 0.5);
+  const Histogram::Percentiles p = h.SummaryPercentiles();
+  EXPECT_DOUBLE_EQ(p.p50, h.Percentile(50));
+  EXPECT_DOUBLE_EQ(p.p95, h.Percentile(95));
+  EXPECT_DOUBLE_EQ(p.p99, h.Percentile(99));
+  // One sample per unit bucket: the p-th percentile sits at ~p.
+  EXPECT_NEAR(p.p50, 50.0, 1.0);
+  EXPECT_NEAR(p.p95, 95.0, 1.0);
+  EXPECT_NEAR(p.p99, 99.0, 1.0);
+  EXPECT_LE(p.p50, p.p95);
+  EXPECT_LE(p.p95, p.p99);
+}
+
+TEST(HistogramTest, SummaryPercentilesEmptyIsZero) {
+  Histogram h(1.0, 10);
+  const Histogram::Percentiles p = h.SummaryPercentiles();
+  EXPECT_DOUBLE_EQ(p.p50, 0.0);
+  EXPECT_DOUBLE_EQ(p.p95, 0.0);
+  EXPECT_DOUBLE_EQ(p.p99, 0.0);
+}
+
 TEST(HistogramTest, MergeAddsBucketwise) {
   Histogram a(10.0, 4);
   Histogram b(10.0, 4);
@@ -145,6 +168,15 @@ TEST(GeometricMeanTest, KnownValues) {
   EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
   EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
   EXPECT_NEAR(GeometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(GeometricMeanTest, NonPositiveValuesYieldZeroNotNaN) {
+  // Degenerate sweeps (deadlocked cells, zero-IPC baselines) feed zeros
+  // and worse into the geomean; the summary must stay finite.
+  EXPECT_DOUBLE_EQ(GeometricMean({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({2.0, 0.0, 8.0}), 0.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({-1.0, 4.0}), 0.0);
+  EXPECT_TRUE(std::isfinite(GeometricMean({0.0, 0.0})));
 }
 
 TEST(ArithmeticMeanTest, KnownValues) {
