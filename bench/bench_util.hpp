@@ -16,9 +16,13 @@
 //                     designates (e.g. fig4's standalone KMN run)
 //   scheduling=active-set   NoC component scheduling for every cell:
 //                     full (tick everything, default), active-set (skip
-//                     idle components bit-identically) or event (timestamped
+//                     idle components bit-identically), event (timestamped
 //                     event queue; same results, least wall clock at low
-//                     load)
+//                     load) or soa (structure-of-arrays tick; same results,
+//                     fastest under load)
+//   batch=4           tick up to this many homogeneous sweep cells in
+//                     lockstep on the sequential (threads=1) path; results
+//                     are bit-identical for any batch size
 #pragma once
 
 #include <unistd.h>
@@ -60,6 +64,7 @@ struct BenchOptions {
   std::string telemetry_path;    ///< prefix for .csv/.trace.json exports
   /// NoC scheduling override for every cell (unset = scheme default).
   std::optional<SchedulingMode> scheduling;
+  int batch = 1;  ///< lockstep cell batch width on the sequential path
   std::string checkpoint_dir;      ///< empty = crash-resume off
   Cycle checkpoint_interval = 0;   ///< cycles between mid-cell snapshots
   bool resume = false;             ///< resume from checkpoint_dir
@@ -136,7 +141,12 @@ inline void RegisterSweepFlags(FlagSet& flags) {
   flags.AddString("telemetry_out", "",
                   "prefix for telemetry .csv/.trace.json exports");
   flags.AddEnum("scheduling", "full", "NoC component scheduling",
-                {"full", "active-set", "event"});
+                {"full", "active-set", "event", "soa"});
+  flags.AddInt("batch", 1,
+               "homogeneous sweep cells ticked in lockstep at threads=1",
+               [](std::int64_t v) {
+                 return v < 1 ? std::string("must be >= 1") : std::string();
+               });
   flags.AddString("checkpoint_dir", "",
                   "directory for crash-resumable sweep state (empty = off)");
   flags.AddInt("checkpoint_interval", 0,
@@ -218,6 +228,7 @@ inline BenchOptions ParseBenchOptions(
   if (opts.raw.Contains("scheduling")) {
     opts.scheduling = ParseSchedulingMode(opts.raw.GetString("scheduling"));
   }
+  opts.batch = static_cast<int>(opts.raw.GetInt("batch", 1));
   opts.checkpoint_dir = opts.raw.GetString("checkpoint_dir", "");
   opts.checkpoint_interval =
       static_cast<Cycle>(opts.raw.GetInt("checkpoint_interval", 0));
@@ -257,6 +268,7 @@ inline SweepOptions SweepOpts(const BenchOptions& opts) {
   out.telemetry = opts.telemetry;
   out.telemetry_interval = opts.telemetry_interval;
   out.scheduling = opts.scheduling;
+  out.batch = opts.batch;
   out.checkpoint_dir = opts.checkpoint_dir;
   out.checkpoint_interval = opts.checkpoint_interval;
   out.resume = opts.resume;

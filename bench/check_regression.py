@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
 """Perf-regression and bit-identity gate for the NoC scheduler.
 
-Runs the fig8 sweep (fixed seed, reduced scale) three times — once per
-scheduling mode (full, active-set, event) — and enforces these gates:
+Runs the fig8 sweep (fixed seed, reduced scale) four times — once per
+scheduling mode (full, active-set, event, soa) — and enforces these gates:
 
-  1. Bit identity: the active-set and event runs' sweep JSON documents
+  1. Bit identity: the active-set, event and soa runs' sweep JSON documents
      must be *exactly* equal to the full-mode one, floats included. They
      come from the same binary in the same process environment, so any
      difference is a scheduler bug.
@@ -12,10 +12,13 @@ scheduling mode (full, active-set, event) — and enforces these gates:
      baseline (bench/baseline.json). Integers and strings compare exactly;
      floats compare to a relative tolerance of 1e-6, absorbing FP-contraction
      differences between compilers while still catching real changes.
-  3. Wall clock: the active/full and event/full wall-clock ratios must not
-     regress by more than --max-regress (default 25%) vs the baseline's
-     recorded ratios. Using the *ratio* normalizes away the CI runner's
-     absolute speed; the full-mode run is the on-machine control.
+  3. Wall clock: the active/full, event/full and soa/full wall-clock ratios
+     must not regress by more than --max-regress (default 25%) vs the
+     baseline's recorded ratios. Using the *ratio* normalizes away the CI
+     runner's absolute speed; the full-mode run is the on-machine control.
+     The soa leg additionally carries an *absolute* ceiling on the default
+     fig8 pin: soa/full must stay below --soa-max-ratio (default 0.6),
+     pinning the SoA core's headline >=2x claim, not just its trend.
   4. Checkpoint-off cost: a checkpoint-enabled run (checkpoint_dir= to a
      scratch directory) is the on-machine control for the default
      checkpoint-off run. The two must produce exactly equal JSON, and the
@@ -130,9 +133,14 @@ def main():
     ap.add_argument("--ckpt-tolerance", type=float, default=0.05,
                     help="allowed checkpoint-off vs checkpoint-on wall-clock "
                          "excess (0.05 = 5%%)")
+    ap.add_argument("--soa-max-ratio", type=float, default=0.6,
+                    help="absolute soa/full wall-clock ceiling on the "
+                         "default protocol (0.6 = soa must be >=1.67x "
+                         "faster; the committed baseline pins ~2x)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from this machine's runs")
     args = ap.parse_args()
+    os.makedirs(args.out_dir, exist_ok=True)
 
     if args.update:
         protocol = dict(DEFAULT_PROTOCOL)
@@ -152,15 +160,20 @@ def main():
                                        active_json)
     event_doc, event_wall = run_mode(args.build_dir, protocol, "event",
                                      event_json)
+    soa_json = os.path.join(args.out_dir, "sweep_soa.json")
+    soa_doc, soa_wall = run_mode(args.build_dir, protocol, "soa", soa_json)
     ratio = active_wall / full_wall
     event_ratio = event_wall / full_wall
+    soa_ratio = soa_wall / full_wall
     print(f"check_regression: wall full={full_wall:.3f}s "
           f"active-set={active_wall:.3f}s (ratio={ratio:.3f}) "
-          f"event={event_wall:.3f}s (ratio={event_ratio:.3f})")
+          f"event={event_wall:.3f}s (ratio={event_ratio:.3f}) "
+          f"soa={soa_wall:.3f}s (ratio={soa_ratio:.3f})")
 
     # Gate 1: bit identity between the scheduling modes (same binary, exact
     # float comparison — any diff is a scheduler bug).
-    for mode, doc in (("active-set", active_doc), ("event", event_doc)):
+    for mode, doc in (("active-set", active_doc), ("event", event_doc),
+                      ("soa", soa_doc)):
         diffs = diff_json(full_doc, doc, exact_floats=True)
         if diffs:
             print(f"check_regression: FAIL — {mode} diverged from full "
@@ -169,6 +182,21 @@ def main():
                 print("  " + d, file=sys.stderr)
             return 1
         print(f"check_regression: bit-identity ok ({mode} == full, exact)")
+
+    # Gate 3b: absolute soa/full ceiling on the default protocol. Unlike the
+    # relative ratio gates this does not drift with the baseline — the SoA
+    # core must actually deliver its speedup on every machine, every run.
+    # Enforced in --update mode too: a baseline may never record a ratio
+    # that fails the absolute gate.
+    if soa_ratio > args.soa_max_ratio:
+        print(f"check_regression: FAIL — soa/full wall-clock ratio "
+              f"{soa_ratio:.3f} exceeds the absolute ceiling "
+              f"{args.soa_max_ratio:.2f} (SoA core must stay >="
+              f"{1.0 / args.soa_max_ratio:.2f}x faster than full)",
+              file=sys.stderr)
+        return 1
+    print(f"check_regression: soa perf ok (absolute ratio {soa_ratio:.3f} "
+          f"<= {args.soa_max_ratio:.2f})")
 
     # Gate 4: checkpoint-off hot-path cost. The checkpoint-enabled run
     # (same machine, same protocol, strictly more work) is the control; the
@@ -219,13 +247,18 @@ def main():
         e_event_doc, e_event_wall = run_mode(
             args.build_dir, proto, "event",
             os.path.join(args.out_dir, f"sweep_{name}_event.json"))
+        e_soa_doc, e_soa_wall = run_mode(
+            args.build_dir, proto, "soa",
+            os.path.join(args.out_dir, f"sweep_{name}_soa.json"))
         e_ratio = e_active_wall / e_full_wall
         e_event_ratio = e_event_wall / e_full_wall
+        e_soa_ratio = e_soa_wall / e_full_wall
         print(f"check_regression[{name}]: wall full={e_full_wall:.3f}s "
               f"active-set={e_active_wall:.3f}s (ratio={e_ratio:.3f}) "
-              f"event={e_event_wall:.3f}s (ratio={e_event_ratio:.3f})")
+              f"event={e_event_wall:.3f}s (ratio={e_event_ratio:.3f}) "
+              f"soa={e_soa_wall:.3f}s (ratio={e_soa_ratio:.3f})")
         for mode, doc in (("active-set", e_active_doc),
-                          ("event", e_event_doc)):
+                          ("event", e_event_doc), ("soa", e_soa_doc)):
             diffs = diff_json(e_full_doc, doc, exact_floats=True)
             if diffs:
                 print(f"check_regression[{name}]: FAIL — {mode} diverged "
@@ -239,6 +272,7 @@ def main():
             extra_updated.append(dict(proto, name=name,
                                       wall_ratio=round(e_ratio, 4),
                                       wall_ratio_event=round(e_event_ratio, 4),
+                                      wall_ratio_soa=round(e_soa_ratio, 4),
                                       results=e_full_doc))
             continue
         diffs = diff_json(spec["results"], e_full_doc, exact_floats=False)
@@ -253,7 +287,8 @@ def main():
               "(match committed baseline)")
         for mode, got, base_key in (("active-set", e_ratio, "wall_ratio"),
                                     ("event", e_event_ratio,
-                                     "wall_ratio_event")):
+                                     "wall_ratio_event"),
+                                    ("soa", e_soa_ratio, "wall_ratio_soa")):
             if base_key not in spec:
                 print(f"check_regression[{name}]: note — baseline has no "
                       f"{base_key}; rerun with --update to pin the {mode} "
@@ -274,9 +309,11 @@ def main():
             "protocol": protocol,
             "wall_seconds": {"full": round(full_wall, 4),
                              "active-set": round(active_wall, 4),
-                             "event": round(event_wall, 4)},
+                             "event": round(event_wall, 4),
+                             "soa": round(soa_wall, 4)},
             "wall_ratio": round(ratio, 4),
             "wall_ratio_event": round(event_ratio, 4),
+            "wall_ratio_soa": round(soa_ratio, 4),
             "results": full_doc,
             "extra_gates": extra_updated,
         }
@@ -300,7 +337,8 @@ def main():
     # prove the active-set/event speedups on the baseline machine; here we
     # only require the *relative* advantage not to rot.
     for mode, got, base_key in (("active-set", ratio, "wall_ratio"),
-                                ("event", event_ratio, "wall_ratio_event")):
+                                ("event", event_ratio, "wall_ratio_event"),
+                                ("soa", soa_ratio, "wall_ratio_soa")):
         if base_key not in baseline:
             print(f"check_regression: note — baseline has no {base_key}; "
                   f"rerun with --update to pin the {mode} ratio")

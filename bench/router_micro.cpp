@@ -93,6 +93,20 @@ void BM_NetworkCycleIdleEvent(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkCycleIdleEvent);
 
+/// The same idle 8x8 network under the SoA core: per-cycle cost is three
+/// linear scans over contiguous due/ready planes — no router object is
+/// touched until a plane entry says it has work.
+void BM_NetworkCycleIdleSoa(benchmark::State& state) {
+  NetworkConfig cfg;
+  cfg.scheduling = SchedulingMode::kSoa;
+  Network net(cfg);
+  for (auto _ : state) {
+    net.Tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkCycleIdleSoa);
+
 /// One network cycle under sparse load: a single long-lived packet stream
 /// crossing the mesh corner-to-corner keeps a handful of components busy
 /// while the other ~60 routers idle — the common low-intensity regime of
@@ -123,6 +137,8 @@ BENCHMARK(BM_NetworkCycleSparse<SchedulingMode::kActiveSet>)
     ->Name("BM_NetworkCycleSparseActiveSet");
 BENCHMARK(BM_NetworkCycleSparse<SchedulingMode::kEvent>)
     ->Name("BM_NetworkCycleSparseEvent");
+BENCHMARK(BM_NetworkCycleSparse<SchedulingMode::kSoa>)
+    ->Name("BM_NetworkCycleSparseSoa");
 
 /// One loaded GPGPU cycle (56 SMs + 8 MCs + 64 routers, KMN workload).
 void BM_GpuCycleLoaded(benchmark::State& state) {

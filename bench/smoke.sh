@@ -9,17 +9,26 @@
 # and — when a UBSan tree is available (see GNOC_SANITIZE=undefined in
 # CMakeLists.txt) — runs one UBSan-instrumented config.
 #
+# Every artifact (sweep JSON, audit JSON, telemetry exports, scheduler
+# CSVs, checkpoint state, pareto.json) lands under one directory,
+# $GNOC_SMOKE_OUT_DIR (default /tmp/gnoc_smoke), so CI can upload the
+# whole run as a single artifact. Per-artifact GNOC_SMOKE_* overrides
+# still win for targeted debugging.
+#
 # Usage: bench/smoke.sh [build-dir] [extra harness args...]
 #   bench/smoke.sh                       # default build/ directory
 #   bench/smoke.sh build workloads=BFS,KMN   # quicker still
 #   BUILD_DIR=build-ci bench/smoke.sh    # build dir via env (CI)
+#   GNOC_SMOKE_OUT_DIR=smoke-out bench/smoke.sh       # artifact directory
 #   GNOC_SMOKE_UBSAN_DIR=build-ubsan bench/smoke.sh   # explicit UBSan tree
 set -euo pipefail
 
 # Positional arg wins, then $BUILD_DIR from the environment, then build/.
 BUILD_DIR=${1:-${BUILD_DIR:-build}}
 shift || true
-OUT=${GNOC_SMOKE_JSON:-/tmp/out.json}
+OUT_DIR=${GNOC_SMOKE_OUT_DIR:-/tmp/gnoc_smoke}
+mkdir -p "$OUT_DIR"
+OUT=${GNOC_SMOKE_JSON:-$OUT_DIR/out.json}
 HARNESS="$BUILD_DIR/bench/fig8_vc_monopolizing"
 
 if [[ ! -x "$HARNESS" ]]; then
@@ -56,7 +65,7 @@ fi
 
 # Second pass: same figure with the invariant auditor on. Any credit /
 # flit-conservation / wormhole / quiescence violation fails the smoke run.
-OUT_AUDIT=${GNOC_SMOKE_AUDIT_JSON:-/tmp/out_audit.json}
+OUT_AUDIT=${GNOC_SMOKE_AUDIT_JSON:-$OUT_DIR/out_audit.json}
 echo "smoke: $HARNESS scale=0.1 threads=4 audit=true json=$OUT_AUDIT $*" >&2
 "$HARNESS" scale=0.1 threads=4 audit=true json="$OUT_AUDIT" "$@" > /dev/null
 
@@ -102,7 +111,7 @@ fi
 # Third pass: telemetry exporters. fig4's standalone KMN run writes the
 # windowed CSV and the Chrome trace; both must be non-empty and the trace
 # must be strictly valid JSON (python3 -m json.tool), not just truthy.
-TELEM=${GNOC_SMOKE_TELEMETRY:-/tmp/smoke_telemetry}
+TELEM=${GNOC_SMOKE_TELEMETRY:-$OUT_DIR/telemetry}
 TELEM_HARNESS="$BUILD_DIR/bench/fig4_link_utilization"
 rm -f "$TELEM.csv" "$TELEM.trace.json"
 echo "smoke: $TELEM_HARNESS scale=0.1 telemetry_out=$TELEM" >&2
@@ -128,35 +137,40 @@ else
   echo "smoke: telemetry ok (structural check only; python3 not found)" >&2
 fi
 
-# Fourth pass: active-set and event scheduling must be bit-identical to
-# full-tick mode. Any diff between the CSVs is a scheduler bug.
-SCHED_FULL=${GNOC_SMOKE_SCHED_FULL:-/tmp/smoke_sched_full.csv}
-SCHED_ACTIVE=${GNOC_SMOKE_SCHED_ACTIVE:-/tmp/smoke_sched_active.csv}
-SCHED_EVENT=${GNOC_SMOKE_SCHED_EVENT:-/tmp/smoke_sched_event.csv}
-echo "smoke: $HARNESS scale=0.1 csv=true scheduling={full,active-set,event}" >&2
+# Fourth pass: active-set, event and soa scheduling must be bit-identical
+# to full-tick mode. Any diff between the CSVs is a scheduler bug. The soa
+# leg also runs batched (batch=4) — lockstep grouping may not change a
+# single byte either.
+SCHED_FULL=${GNOC_SMOKE_SCHED_FULL:-$OUT_DIR/sched_full.csv}
+echo "smoke: $HARNESS scale=0.1 csv=true" \
+     "scheduling={full,active-set,event,soa}" >&2
 "$HARNESS" scale=0.1 threads=4 csv=true scheduling=full "$@" > "$SCHED_FULL"
-"$HARNESS" scale=0.1 threads=4 csv=true scheduling=active-set "$@" \
-    > "$SCHED_ACTIVE"
-"$HARNESS" scale=0.1 threads=4 csv=true scheduling=event "$@" \
-    > "$SCHED_EVENT"
-for mode in active-set event; do
-  got="$SCHED_ACTIVE"
-  [[ "$mode" == event ]] && got="$SCHED_EVENT"
+for mode in active-set event soa; do
+  got="$OUT_DIR/sched_$mode.csv"
+  "$HARNESS" scale=0.1 threads=4 csv=true scheduling="$mode" "$@" > "$got"
   if ! diff -q "$SCHED_FULL" "$got" > /dev/null; then
     echo "smoke: FAIL — $mode scheduling diverged from full mode:" >&2
     diff "$SCHED_FULL" "$got" | head -20 >&2
     exit 1
   fi
 done
-echo "smoke: scheduling ok — active-set and event output bit-identical" \
-     "to full" >&2
+SCHED_BATCH="$OUT_DIR/sched_soa_batch4.csv"
+"$HARNESS" scale=0.1 threads=1 batch=4 csv=true scheduling=soa "$@" \
+    > "$SCHED_BATCH"
+if ! diff -q "$SCHED_FULL" "$SCHED_BATCH" > /dev/null; then
+  echo "smoke: FAIL — batched (batch=4) soa sweep diverged from full:" >&2
+  diff "$SCHED_FULL" "$SCHED_BATCH" | head -20 >&2
+  exit 1
+fi
+echo "smoke: scheduling ok — active-set, event, soa (incl. batch=4)" \
+     "output bit-identical to full" >&2
 
 # Fifth pass: kill-and-resume. Run the fig8 sweep with checkpointing, kill
 # it mid-flight (SIGKILL — no chance to clean up), resume it, and require
 # the resumed JSON to be byte-for-byte identical to an uninterrupted run.
-CKPT_DIR=${GNOC_SMOKE_CKPT_DIR:-/tmp/smoke_ckpt}
-CKPT_OUT=${GNOC_SMOKE_CKPT_JSON:-/tmp/smoke_ckpt.json}
-STRAIGHT_OUT=${GNOC_SMOKE_STRAIGHT_JSON:-/tmp/smoke_straight.json}
+CKPT_DIR=${GNOC_SMOKE_CKPT_DIR:-$OUT_DIR/ckpt}
+CKPT_OUT=${GNOC_SMOKE_CKPT_JSON:-$OUT_DIR/ckpt.json}
+STRAIGHT_OUT=${GNOC_SMOKE_STRAIGHT_JSON:-$OUT_DIR/straight.json}
 rm -rf "$CKPT_DIR" "$CKPT_OUT" "$STRAIGHT_OUT"
 echo "smoke: $HARNESS scale=0.1 checkpoint_dir=$CKPT_DIR (will SIGKILL)" >&2
 "$HARNESS" scale=0.1 threads=2 checkpoint_dir="$CKPT_DIR" \
@@ -197,7 +211,7 @@ echo "smoke: checkpoint ok — killed+resumed sweep byte-identical" >&2
 # deadlock avoidance and the concentrated router must keep every credit /
 # wormhole / quiescence invariant clean. Fixed args (no "$@"): this pass
 # pins its own scale and workload subset to stay cheap.
-TOPO_OUT=${GNOC_SMOKE_TOPO_JSON:-/tmp/smoke_topo.json}
+TOPO_OUT=${GNOC_SMOKE_TOPO_JSON:-$OUT_DIR/topo.json}
 for topo in torus cmesh circulant; do
   echo "smoke: $HARNESS topology=$topo radix=8 num_vcs=4 audit=true" >&2
   "$HARNESS" scale=0.1 threads=4 workloads=BFS,KMN topology="$topo" \
@@ -237,7 +251,7 @@ done
 # DSE pass: a quick Pareto search over a 16-point sub-space (grid
 # strategy, ground truth for the size) must complete, write a parseable
 # pareto.json and report a non-empty frontier with full per-point configs.
-DSE_OUT=${GNOC_SMOKE_DSE_JSON:-/tmp/smoke_pareto.json}
+DSE_OUT=${GNOC_SMOKE_DSE_JSON:-$OUT_DIR/pareto.json}
 DSE_HARNESS="$BUILD_DIR/bench/pareto_search"
 echo "smoke: $DSE_HARNESS strategy=grid radix=4 16-point sub-space" >&2
 "$DSE_HARNESS" strategy=grid max_evaluations=0 radix=4 workloads=BFS \
@@ -285,4 +299,4 @@ else
        "(cmake -B build-ubsan -S . -DGNOC_SANITIZE=undefined)" >&2
 fi
 
-echo "smoke: ok ($OUT, $OUT_AUDIT, $TELEM.{csv,trace.json})" >&2
+echo "smoke: ok — artifacts in $OUT_DIR" >&2

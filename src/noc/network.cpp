@@ -8,6 +8,7 @@
 #include "common/serialize.hpp"
 
 #include "noc/deadlock.hpp"
+#include "noc/soa_core.hpp"
 
 namespace gnoc {
 
@@ -16,6 +17,7 @@ const char* SchedulingModeName(SchedulingMode m) {
     case SchedulingMode::kFull: return "full";
     case SchedulingMode::kActiveSet: return "active-set";
     case SchedulingMode::kEvent: return "event";
+    case SchedulingMode::kSoa: return "soa";
   }
   return "?";
 }
@@ -29,8 +31,9 @@ SchedulingMode ParseSchedulingMode(const std::string& name) {
     return SchedulingMode::kActiveSet;
   }
   if (lower == "event") return SchedulingMode::kEvent;
+  if (lower == "soa") return SchedulingMode::kSoa;
   throw std::invalid_argument(
-      "scheduling must be full|active-set|event (got '" + name + "')");
+      "scheduling must be full|active-set|event|soa (got '" + name + "')");
 }
 
 namespace {
@@ -270,7 +273,17 @@ Network::Network(const NetworkConfig& config)
           {&Network::WakeCreditLinkEvent, this, i});
     }
   }
+
+  // SoA scheduling: the core flattens the hot state into contiguous planes
+  // and installs channel wake hooks that keep its due/occupancy planes
+  // sound. Routers and NICs keep null hooks — the core tracks their work
+  // through its own counters.
+  if (config_.scheduling == SchedulingMode::kSoa) {
+    soa_ = std::make_unique<SoaCore>(*this);
+  }
 }
+
+Network::~Network() = default;
 
 void Network::WakeRouterEvent(void* ctx, std::size_t index) {
   auto* net = static_cast<Network*>(ctx);
@@ -365,6 +378,7 @@ void Network::Tick() {
     case SchedulingMode::kFull: TickFull(); break;
     case SchedulingMode::kActiveSet: TickActive(); break;
     case SchedulingMode::kEvent: TickEvent(); break;
+    case SchedulingMode::kSoa: TickSoa(); break;
   }
   ++now_;
 }
@@ -545,6 +559,28 @@ void Network::TickEvent() {
   UpdateWatchdog([this] { return EventFlitsInFlight() == 0; });
 }
 
+void Network::TickSoa() {
+  // Same phase order as TickFull; the delivery and router phases run as
+  // tight passes over the SoA planes and skip idle links/routers exactly
+  // where the active-set scheduler would (bit-identical results). NICs are
+  // object-ticked every cycle as in TickFull.
+  soa_->DeliverFlitLinks(now_);
+  soa_->DeliverCreditLinks(now_);
+  soa_->TickRouters(now_);
+  for (auto& nic : nics_) nic->Tick(now_);
+  tick_steps_ += soa_->TakeSteps() + nics_.size();
+
+  if (auditor_ != nullptr && auditor_->SnapshotDue(now_)) {
+    auditor_->RunSnapshot(now_);
+  }
+
+  if (telemetry_ != nullptr && telemetry_->SampleDue(now_)) {
+    telemetry_->Sample(now_);
+  }
+
+  UpdateWatchdog([this] { return soa_->NoFlitsInFlight(); });
+}
+
 std::size_t Network::ActiveFlitsInFlight() const {
   // Every term of the full FlitsInFlight scan is contributed by a component
   // the wake hooks guarantee is on its dirty list (buffered flits => router
@@ -635,6 +671,10 @@ bool Network::Drain(Cycle max_cycles) {
     switch (config_.scheduling) {
       case SchedulingMode::kActiveSet: return ActiveFlitsInFlight();
       case SchedulingMode::kEvent: return EventFlitsInFlight();
+      case SchedulingMode::kSoa:
+        // The running plane counters make everything but the NIC term O(1).
+        if (soa_->BufferedTotal() > 0) return soa_->BufferedTotal();
+        break;
       case SchedulingMode::kFull: break;
     }
     return FlitsInFlight();
@@ -657,6 +697,15 @@ void Network::AuditQuiescence() {
 }
 
 bool Network::InjectFault(AuditFault fault) {
+  // Fault planting mutates channel contents without firing wake hooks;
+  // rebuild the SoA planes afterwards so they stay sound (mutation tests
+  // only — never on the hot path).
+  struct Resync {
+    SoaCore* soa;
+    ~Resync() {
+      if (soa != nullptr) soa->RebuildFromObjects();
+    }
+  } resync{soa_.get()};
   switch (fault) {
     case AuditFault::kDropCredit:
       for (auto& link : credit_links_) {
@@ -814,6 +863,10 @@ void Network::Load(Deserializer& d) {
   active_flit_links_.Load(d);
   active_credit_links_.Load(d);
   event_queue_.Load(d);
+  // Channel/buffer Load writes contents directly (no wake hooks fire): the
+  // object->SoA conversion at the checkpoint boundary re-derives every
+  // plane, so the snapshot format is unchanged (DESIGN.md §14).
+  if (soa_ != nullptr) soa_->RebuildFromObjects();
 }
 
 }  // namespace gnoc

@@ -27,6 +27,7 @@
 namespace gnoc {
 
 class LinkUsage;
+class SoaCore;
 
 /// How Network::Tick schedules component updates (DESIGN.md §9).
 enum class SchedulingMode : std::uint8_t {
@@ -45,13 +46,20 @@ enum class SchedulingMode : std::uint8_t {
   /// cycle with no due events costs one heap peek, so idle and sparse runs
   /// skip whole cycle ranges' worth of component work.
   kEvent = 2,
+  /// Structure-of-arrays tick (DESIGN.md §14): the hot per-component state
+  /// (input-VC head readiness, channel due cycles, router occupancy) lives
+  /// in contiguous per-network planes and each phase is one tight pass in
+  /// the dense order, with preallocated arbitration scratch. Bit-identical
+  /// to kFull like the other modes, but a busy cycle costs plane scans and
+  /// zero allocations instead of pointer-chasing AoS objects.
+  kSoa = 3,
 };
 
-/// Human readable name ("full", "active-set", "event").
+/// Human readable name ("full", "active-set", "event", "soa").
 const char* SchedulingModeName(SchedulingMode m);
 
-/// Parses "full" / "active-set" / "active" / "event" (case-insensitive).
-/// Throws std::invalid_argument on unknown names.
+/// Parses "full" / "active-set" / "active" / "event" / "soa"
+/// (case-insensitive). Throws std::invalid_argument on unknown names.
 SchedulingMode ParseSchedulingMode(const std::string& name);
 
 /// Full network configuration.
@@ -127,6 +135,7 @@ struct NetworkSummary {
 class Network {
  public:
   explicit Network(const NetworkConfig& config);
+  ~Network();  // defaulted in network.cpp, where SoaCore is complete
 
   // Non-copyable: routers hold pointers into channel storage.
   Network(const Network&) = delete;
@@ -264,6 +273,10 @@ class Network {
   void Load(Deserializer& d);
 
  private:
+  /// The SoA core (scheduling=soa) walks the link/router tables directly
+  /// and keeps derived planes in sync through the channel wake hooks.
+  friend class SoaCore;
+
   struct FlitLink {
     FlitChannel channel;
     Router* dst_router = nullptr;
@@ -296,6 +309,9 @@ class Network {
   /// order and dispatches it; visited components re-arm their own next
   /// wake. A cycle with no due events does no component work at all.
   void TickEvent();
+  /// One SoA cycle: the SoaCore runs the delivery and router phases as
+  /// tight passes over its planes; NICs are object-ticked as in TickFull.
+  void TickSoa();
   /// Shared watchdog tail of both tick paths. `no_flits` must equal
   /// `FlitsInFlight() == 0` at the post-tick boundary (callers may compute
   /// it lazily: it is only read when no progress event fired this cycle).
@@ -336,6 +352,11 @@ class Network {
   // same four component domains; wake hooks installed at construction
   // schedule the wakes.
   EventQueue event_queue_;
+
+  // SoA scheduling state (null except under kSoa): derived hot-state
+  // planes rebuilt from the objects at construction and after Load; never
+  // serialized, so the snapshot format is unchanged.
+  std::unique_ptr<SoaCore> soa_;
 
   Cycle now_ = 0;
   PacketId next_packet_id_ = 1;

@@ -9,18 +9,11 @@
 
 namespace gnoc {
 
-namespace {
-
-/// The dateline restriction of a class's VC range: half 0 is the lower
-/// (pre-wrap) half, half 1 the upper (post-wrap) half. Needs size >= 2 —
-/// the Network validates that for every dateline topology at construction.
 VcRange DatelineHalf(VcRange range, std::int8_t half) {
   assert(range.size() >= 2 && "dateline topologies need >= 2 VCs per class");
   const VcId mid = range.begin + range.size() / 2;
   return half == 0 ? VcRange{range.begin, mid} : VcRange{mid, range.end};
 }
-
-}  // namespace
 
 Router::Router(NodeId node, Coord coord, const RouterConfig& config)
     : node_(node),

@@ -36,6 +36,13 @@ namespace gnoc {
 
 class Auditor;
 class Nic;
+class SoaCore;
+
+/// The dateline restriction of a class's VC range: half 0 is the lower
+/// (pre-wrap) half, half 1 the upper (post-wrap) half. Needs size >= 2 —
+/// the Network validates that for every dateline topology at construction.
+/// Shared by the router's VA stage and its SoA replica (noc/soa_core.cpp).
+VcRange DatelineHalf(VcRange range, std::int8_t half);
 
 /// Static configuration shared by every router in a network.
 struct RouterConfig {
@@ -232,6 +239,10 @@ class Router {
   void Load(Deserializer& d);
 
  private:
+  /// The SoA tick path (scheduling=soa) replays this router's phases over
+  /// flattened planes, reusing the object arbiters, stats and VC state.
+  friend class SoaCore;
+
   /// State of one input VC.
   struct InputVc {
     explicit InputVc(int depth) : buffer(static_cast<std::size_t>(depth)) {}

@@ -161,7 +161,7 @@ void RegisterGpuConfigFlags(FlagSet& flags) {
                static_cast<std::int64_t>(def.telemetry_max_windows),
                "telemetry window cap (0 = unbounded)", at_least(0));
   flags.AddString("scheduling", "full",
-                  "NoC component scheduling (full|active-set|event)",
+                  "NoC component scheduling (full|active-set|event|soa)",
                   parsed_by(ParseSchedulingMode));
   flags.AddBool("ideal_noc", def.ideal_noc,
                 "replace the NoC with the contention-free ideal fabric");
@@ -199,6 +199,7 @@ std::string GpuConfig::Describe() const {
   if (division == NetworkDivision::kPhysical) oss << ", dual physical nets";
   if (scheduling == SchedulingMode::kActiveSet) oss << ", active-set sched";
   if (scheduling == SchedulingMode::kEvent) oss << ", event sched";
+  if (scheduling == SchedulingMode::kSoa) oss << ", soa sched";
   return oss.str();
 }
 
