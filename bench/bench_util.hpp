@@ -23,6 +23,11 @@
 //   batch=4           tick up to this many homogeneous sweep cells in
 //                     lockstep on the sequential (threads=1) path; results
 //                     are bit-identical for any batch size
+//   qos=strict        QoS arbitration discipline for every cell
+//                     (none|strict|wrr; see DESIGN.md §15)
+//   qos_class=...     per-class contract spec, repeatable: the i-th
+//                     occurrence configures class i (request, reply), e.g.
+//                     qos_class=critical,prio=2,vcs=1,p99=400
 #pragma once
 
 #include <unistd.h>
@@ -175,6 +180,28 @@ inline void RegisterSweepFlags(FlagSet& flags) {
                [](std::int64_t v) {
                  return v < 1 ? std::string("must be >= 1") : std::string();
                });
+  flags.AddString("qos", "none",
+                  "QoS arbitration discipline (none|strict|wrr)",
+                  [](const std::string& v) -> std::string {
+                    try {
+                      ParseQosArbitration(v);
+                      return "";
+                    } catch (const std::exception& e) {
+                      return e.what();
+                    }
+                  });
+  flags.AddString("qos_class", "",
+                  "traffic class spec '<name>[,prio=N][,rate=X][,burst=N]"
+                  "[,vcs=N][,p99=X]' (repeatable; i-th occurrence = class i)",
+                  [](const std::string& v) -> std::string {
+                    if (v.empty()) return "";
+                    try {
+                      ParseTrafficClassSpec(v);
+                      return "";
+                    } catch (const std::exception& e) {
+                      return e.what();
+                    }
+                  });
 }
 
 /// Applies the shared grid/topology overrides (topology=, radix=,
@@ -184,8 +211,14 @@ inline void RegisterSweepFlags(FlagSet& flags) {
 inline GpuConfig WithGridOverrides(GpuConfig cfg, const BenchOptions& opts) {
   Config sub;
   for (const char* key :
-       {"topology", "radix", "circulant_s1", "circulant_s2", "num_vcs"}) {
+       {"topology", "radix", "circulant_s1", "circulant_s2", "num_vcs",
+        "qos"}) {
     if (opts.raw.Contains(key)) sub.Set(key, opts.raw.GetString(key, ""));
+  }
+  // qos_class= is positional and repeatable: forward every occurrence in
+  // order so the i-th still configures class i.
+  for (const std::string& spec : opts.raw.GetList("qos_class")) {
+    if (!spec.empty()) sub.Append("qos_class", spec);
   }
   cfg.ApplyOverrides(sub);
   return cfg;

@@ -31,6 +31,14 @@ scheduling mode (full, active-set, event, soa) — and enforces these gates:
      active/full wall-clock ratio — under its own protocol. This pins the
      dateline topologies' numbers the same way the 8x8 mesh baseline is
      pinned.
+  6. QoS gate: the qos_starvation harness is self-checking (non-zero exit on
+     any cross-backend or snapshot-resume divergence, or a missed p99
+     target), so this leg re-proves four-way bit-identity under a
+     non-trivial QoS config and pins the headline starvation numbers
+     against the baseline's "qos_gate" section. Note the *default* fig8
+     runs of gates 1-2 double as the QoS-off control: QoS stays disabled
+     there, so any drift in their numbers vs the committed baseline would
+     flag a QoS-off behavior change.
 
 Regenerate the baseline after an intentional behavior change with:
 
@@ -64,6 +72,15 @@ EXTRA_GATE_PROTOCOLS = [
         "repeats": 2,
     },
 ]
+# QoS starvation pin: mixed latency-critical + saturating-bulk open-loop run.
+# The harness runs all four scheduling backends (plus a snapshot-resume leg)
+# itself and exits non-zero unless they are byte-identical and the QoS-on
+# run holds the critical class's p99 target.
+QOS_GATE_PROTOCOL = {
+    "harness": "bench/qos_starvation",
+    "args": ["scale=0.25"],
+    "repeats": 1,
+}
 FLOAT_REL_TOL = 1e-6
 
 
@@ -304,6 +321,48 @@ def main():
             print(f"check_regression[{name}]: perf ok "
                   f"({mode} ratio {got:.3f} <= {allowed:.3f})")
 
+    # Gate 6: QoS guaranteed-service pin. The harness self-checks the hard
+    # invariants (four-way scheduling bit-identity with QoS enabled,
+    # snapshot-resume identity, SLO met under QoS / violated without); the
+    # gate here only adds the graceful failure report and the numeric pin.
+    qos_spec = QOS_GATE_PROTOCOL if args.update else baseline.get("qos_gate")
+    qos_updated = None
+    if qos_spec is not None:
+        qos_harness = os.path.join(args.build_dir, qos_spec["harness"])
+        if not os.access(qos_harness, os.X_OK):
+            sys.exit("check_regression: harness not found/executable: "
+                     f"{qos_harness}")
+        qos_json = os.path.join(args.out_dir, "sweep_qos.json")
+        qos_cmd = [qos_harness] + qos_spec["args"] + [f"json={qos_json}"]
+        qos_run = subprocess.run(qos_cmd, stdout=subprocess.DEVNULL)
+        if qos_run.returncode != 0:
+            print("check_regression[qos]: FAIL — qos_starvation self-checks "
+                  f"failed (exit {qos_run.returncode}): a scheduling backend "
+                  "diverged under QoS, the snapshot-resume leg mismatched, "
+                  "or the p99 target was missed", file=sys.stderr)
+            return 1
+        with open(qos_json) as f:
+            qos_doc = json.load(f)
+        print("check_regression[qos]: self-checks ok (bit-identity across "
+              "all backends + snapshot resume, SLO held)")
+        if args.update:
+            qos_updated = {"harness": qos_spec["harness"],
+                           "args": qos_spec["args"],
+                           "repeats": qos_spec["repeats"],
+                           "results": qos_doc}
+        else:
+            diffs = diff_json(qos_spec["results"], qos_doc,
+                              exact_floats=False)
+            if diffs:
+                print("check_regression[qos]: FAIL — stats changed vs "
+                      "committed baseline (if intentional, rerun with "
+                      "--update):", file=sys.stderr)
+                for d in diffs[:20]:
+                    print("  " + d, file=sys.stderr)
+                return 1
+            print("check_regression[qos]: stats ok (match committed "
+                  "baseline)")
+
     if args.update:
         doc = {
             "protocol": protocol,
@@ -316,6 +375,7 @@ def main():
             "wall_ratio_soa": round(soa_ratio, 4),
             "results": full_doc,
             "extra_gates": extra_updated,
+            "qos_gate": qos_updated,
         }
         with open(args.baseline, "w") as f:
             json.dump(doc, f, indent=1, sort_keys=True)

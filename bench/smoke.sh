@@ -285,6 +285,73 @@ else
   echo "smoke: dse ok (structural check only; python3 not found)" >&2
 fi
 
+# QoS pass: two legs. (1) The starvation study harness self-checks the
+# hard invariants — four-way scheduling bit-identity with QoS enabled, a
+# mid-measure snapshot-resume leg, and the latency-critical class holding
+# its p99 target that the QoS-off control violates — and exits non-zero on
+# any failure. (2) The qos=/qos_class= flag surface on the fig8 harness:
+# named classes must come back as JSON keys with the configured knobs and
+# a live token-bucket (throttle_cycles > 0), audit-clean.
+QOS_OUT=${GNOC_SMOKE_QOS_JSON:-$OUT_DIR/qos.json}
+QOS_HARNESS="$BUILD_DIR/bench/qos_starvation"
+echo "smoke: $QOS_HARNESS scale=0.25 json=$QOS_OUT" >&2
+"$QOS_HARNESS" scale=0.25 json="$QOS_OUT" > /dev/null
+QOS_FLAGS_OUT=${GNOC_SMOKE_QOS_FLAGS_JSON:-$OUT_DIR/qos_flags.json}
+echo "smoke: $HARNESS qos=strict qos_class=critical,... qos_class=bulk,..." >&2
+"$HARNESS" scale=0.1 threads=4 workloads=BFS audit=true qos=strict \
+    "qos_class=critical,prio=2,vcs=1,p99=300" \
+    "qos_class=bulk,prio=1,rate=0.5,burst=8,vcs=1" \
+    json="$QOS_FLAGS_OUT" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$QOS_OUT" "$QOS_FLAGS_OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    starve = json.load(f)
+m = starve["metrics"]
+assert m["qos_off_violation_windows"] > 0, "control run never violated SLO"
+assert m["qos_on_violation_windows"] == 0, "QoS run violated SLO"
+assert m["qos_on_critical_p99"] < m["qos_off_critical_p99"], \
+    "QoS did not improve critical p99"
+with open(sys.argv[2]) as f:
+    doc = json.load(f)
+bad = []
+cells = 0
+for name, sweep in doc["sweeps"].items():
+    for cell in sweep["cells"]:
+        cells += 1
+        qos = cell.get("qos")
+        if qos is None or not qos["enabled"] or qos["arbitration"] != "strict":
+            bad.append("%s/%s: qos flags not applied" %
+                       (cell["scheme"], cell["workload"]))
+            continue
+        classes = qos["classes"]
+        if set(classes) != {"critical", "bulk"}:
+            bad.append("%s/%s: class names %s" %
+                       (cell["scheme"], cell["workload"], sorted(classes)))
+        elif classes["critical"]["priority"] != 2 \
+                or classes["bulk"]["rate"] != 0.5:
+            bad.append("%s/%s: class knobs not applied" %
+                       (cell["scheme"], cell["workload"]))
+        elif classes["bulk"]["throttle_cycles"] == 0:
+            bad.append("%s/%s: token bucket never throttled" %
+                       (cell["scheme"], cell["workload"]))
+        audit = cell.get("audit")
+        if audit is None or not audit["enabled"] or not audit["clean"]:
+            bad.append("%s/%s: audit not clean under QoS" %
+                       (cell["scheme"], cell["workload"]))
+for line in bad:
+    print("smoke: QOS FAIL — " + line, file=sys.stderr)
+if bad:
+    sys.exit(1)
+print("smoke: qos ok — starvation study self-checks passed, "
+      "%d cells carry named classes, audit-clean" % cells)
+EOF
+else
+  grep -q '"critical"' "$QOS_FLAGS_OUT" || {
+    echo "smoke: QOS FAIL — named classes missing" >&2; exit 1; }
+  echo "smoke: qos ok (structural check only; python3 not found)" >&2
+fi
+
 # Sixth pass: one UBSan config, when an undefined-sanitizer tree exists
 # (any UB aborts the harness because the tree builds with
 # -fno-sanitize-recover=undefined).

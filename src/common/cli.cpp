@@ -257,16 +257,17 @@ Config FlagSet::Parse(int argc, const char* const* argv, int first) {
       for (const std::string& file_key : file.keys()) {
         const auto it = index_.find(file_key);
         if (it == index_.end()) ThrowUnknown(file_key);
-        const std::string file_value = file.GetString(file_key);
-        Validate(flags_[it->second], file_value);
-        from_file.Set(file_key, file_value);
+        for (const std::string& file_value : file.GetList(file_key)) {
+          Validate(flags_[it->second], file_value);
+          from_file.Append(file_key, file_value);
+        }
       }
       continue;
     }
     const auto it = index_.find(key);
     if (it == index_.end()) ThrowUnknown(key);
     Validate(flags_[it->second], value);
-    from_cli.Set(key, value);
+    from_cli.Append(key, value);
   }
   // Precedence: config-file values first, command-line values override.
   Config merged = from_file;

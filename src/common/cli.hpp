@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/enum_registry.hpp"
 
 namespace gnoc {
 
@@ -63,11 +64,20 @@ class FlagSet {
   /// A string flag restricted to `values` (listed in the help text).
   FlagSet& AddEnum(const std::string& name, const std::string& def,
                    const std::string& doc, std::vector<std::string> values);
+  /// Same, taking the canonical names straight from an enum registry so
+  /// flag choices and the Parse* function can never drift apart.
+  template <typename E>
+  FlagSet& AddEnum(const std::string& name, const std::string& def,
+                   const std::string& doc, const EnumRegistry<E>& registry) {
+    return AddEnum(name, def, doc, registry.CanonicalNames());
+  }
 
   bool Contains(const std::string& name) const;
 
   /// Parses "key=value" tokens from argv[first..). Loads `config=<file>`
-  /// first when present, then lets command-line values win. Throws CliError
+  /// first when present, then lets command-line values win. Repeated
+  /// occurrences of a flag all validate and are kept in order (see
+  /// Config::GetList); scalar getters stay last-wins. Throws CliError
   /// on unknown keys, malformed values or failed validation. When a help
   /// token (help, help=..., --help, -h) appears, sets help_requested() and
   /// returns the flags parsed so far.

@@ -29,7 +29,7 @@ void ParseToken(Config& cfg, const std::string& token) {
   if (key.empty()) {
     throw std::invalid_argument("config token has empty key: '" + token + "'");
   }
-  cfg.Set(key, value);
+  cfg.Append(key, value);
 }
 
 }  // namespace
@@ -71,6 +71,13 @@ Config Config::FromString(const std::string& text) {
 void Config::Set(const std::string& key, const std::string& value) {
   if (values_.find(key) == values_.end()) order_.push_back(key);
   values_[key] = value;
+  lists_[key] = {value};
+}
+
+void Config::Append(const std::string& key, const std::string& value) {
+  if (values_.find(key) == values_.end()) order_.push_back(key);
+  values_[key] = value;
+  lists_[key].push_back(value);
 }
 
 void Config::SetInt(const std::string& key, std::int64_t value) {
@@ -138,13 +145,26 @@ bool Config::GetBool(const std::string& key, bool fallback) const {
                               it->second + "'");
 }
 
+std::vector<std::string> Config::GetList(const std::string& key) const {
+  auto it = lists_.find(key);
+  return it == lists_.end() ? std::vector<std::string>{} : it->second;
+}
+
 void Config::Merge(const Config& other) {
-  for (const auto& key : other.order_) Set(key, other.values_.at(key));
+  for (const auto& key : other.order_) {
+    if (values_.find(key) == values_.end()) order_.push_back(key);
+    lists_[key] = other.lists_.at(key);
+    values_[key] = other.values_.at(key);
+  }
 }
 
 std::string Config::ToString() const {
   std::ostringstream oss;
-  for (const auto& key : order_) oss << key << '=' << values_.at(key) << '\n';
+  for (const auto& key : order_) {
+    for (const auto& value : lists_.at(key)) {
+      oss << key << '=' << value << '\n';
+    }
+  }
   return oss.str();
 }
 

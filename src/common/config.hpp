@@ -32,10 +32,16 @@ class Config {
   /// malformed.
   static Config FromFile(const std::string& path);
 
+  /// Replaces every occurrence of `key` with the single `value`.
   void Set(const std::string& key, const std::string& value);
   void SetInt(const std::string& key, std::int64_t value);
   void SetDouble(const std::string& key, double value);
   void SetBool(const std::string& key, bool value);
+
+  /// Records one more occurrence of `key`. Scalar getters keep last-wins
+  /// semantics; GetList sees every occurrence in order. Repeatable flags
+  /// (e.g. qos_class=) are parsed with this.
+  void Append(const std::string& key, const std::string& value);
 
   bool Contains(const std::string& key) const;
 
@@ -47,7 +53,12 @@ class Config {
   double GetDouble(const std::string& key, double fallback) const;
   bool GetBool(const std::string& key, bool fallback) const;
 
-  /// Merges `other` into this config; keys in `other` win.
+  /// Every occurrence of `key` in insertion order (empty when absent).
+  std::vector<std::string> GetList(const std::string& key) const;
+
+  /// Merges `other` into this config; keys in `other` win, replacing all
+  /// occurrences of the key at once (a CLI qos_class= list supersedes a
+  /// config-file list rather than appending to it).
   void Merge(const Config& other);
 
   /// Keys in insertion order.
@@ -60,7 +71,10 @@ class Config {
   std::string ToString() const;
 
  private:
+  // Invariant: values_[k] == lists_[k].back() for every present key, so
+  // the scalar getters stay last-wins while GetList sees every occurrence.
   std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> lists_;
   std::vector<std::string> order_;
 };
 

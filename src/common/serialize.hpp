@@ -27,7 +27,9 @@ namespace gnoc {
 
 /// Bumped whenever the serialized layout of any component changes.
 /// v3: Network payloads append the event queue (scheduling=event).
-inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
+/// v4: QoS — NIC token buckets + throttle counters, router WRR credits,
+///     per-class SLO targets in telemetry reports, QoS summary counters.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 4;
 
 /// Thrown on any malformed snapshot: truncation, bad magic, version skew,
 /// fingerprint mismatch, CRC mismatch.

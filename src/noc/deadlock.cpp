@@ -152,7 +152,8 @@ SafetyReport AnalyzeSafety(const TilePlan& plan, RoutingAlgorithm routing) {
 
 void ValidatePolicyOrThrow(const Topology& topo, const TilePlan& plan,
                            RoutingAlgorithm routing, VcPolicyKind policy,
-                           bool allow_unsafe) {
+                           bool allow_unsafe,
+                           std::array<int, kNumClasses> qos_reserved) {
   if (topo.has_datelines()) {
     // Dateline topologies split each class's VC range into pre-/post-wrap
     // halves, so every class needs >= 2 VCs on every link it can use.
@@ -178,19 +179,27 @@ void ValidatePolicyOrThrow(const Topology& topo, const TilePlan& plan,
     // protocol-deadlock free by construction.
     return;
   }
+  // A per-class QoS VC reservation on *both* classes restores safety on
+  // mixed links: each class keeps a private escape VC everywhere, so
+  // neither can be denied buffering by the other — the same disjointness
+  // argument that proves the split policy safe (see deadlock.hpp).
+  const bool escape_vcs = qos_reserved[0] >= 1 && qos_reserved[1] >= 1;
   const SafetyReport report = AnalyzeSafety(topo, plan, routing);
-  const bool safe = report.full_monopolize_safe;
+  const bool safe = report.full_monopolize_safe || escape_vcs;
   if (!safe && !allow_unsafe) {
     throw std::invalid_argument(
         std::string("VC policy '") + VcPolicyName(policy) +
-        "' is not protocol-deadlock safe for " + report.ToString());
+        "' is not protocol-deadlock safe for " + report.ToString() +
+        " (reserve >= 1 VC per class via qos_class=...,vcs=N to restore "
+        "safety, or pass allow_unsafe)");
   }
 }
 
 void ValidatePolicyOrThrow(const TilePlan& plan, RoutingAlgorithm routing,
-                           VcPolicyKind policy, bool allow_unsafe) {
+                           VcPolicyKind policy, bool allow_unsafe,
+                           std::array<int, kNumClasses> qos_reserved) {
   ValidatePolicyOrThrow(Topology::Mesh(plan.width(), plan.height()), plan,
-                        routing, policy, allow_unsafe);
+                        routing, policy, allow_unsafe, qos_reserved);
 }
 
 }  // namespace gnoc

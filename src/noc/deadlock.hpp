@@ -113,12 +113,22 @@ SafetyReport AnalyzeSafety(const Topology& topo, const TilePlan& plan,
 /// provably safe for (plan, routing) and `allow_unsafe` is false. Used by
 /// the GPU system builder so misconfigurations fail fast instead of
 /// deadlocking mid-simulation.
+///
+/// `qos_reserved` is the per-class QoS VC reservation (DESIGN.md §15).
+/// When *both* classes reserve at least one VC, full monopolizing is safe
+/// even on mixed links: each class always owns a private escape VC on
+/// every link that the other class can never allocate, which is exactly
+/// the disjoint-buffering argument that makes the split policy safe. An
+/// asymmetric reservation (one class only) adds no such guarantee for the
+/// unreserved class and falls back to the base analysis.
 void ValidatePolicyOrThrow(const TilePlan& plan, RoutingAlgorithm routing,
-                           VcPolicyKind policy, bool allow_unsafe);
+                           VcPolicyKind policy, bool allow_unsafe,
+                           std::array<int, kNumClasses> qos_reserved = {});
 
 /// Topology-aware overload of ValidatePolicyOrThrow.
 void ValidatePolicyOrThrow(const Topology& topo, const TilePlan& plan,
                            RoutingAlgorithm routing, VcPolicyKind policy,
-                           bool allow_unsafe);
+                           bool allow_unsafe,
+                           std::array<int, kNumClasses> qos_reserved = {});
 
 }  // namespace gnoc

@@ -23,6 +23,17 @@
 
 namespace gnoc {
 
+/// Everything a finished (or paused) run reports about its transport, in
+/// one value: the invariant-audit verdict, the telemetry snapshot and the
+/// QoS outcome. Collected by Fabric::CollectRunReport in a single sweep so
+/// callers stop stitching per-subsystem collectors together; sections for
+/// disabled subsystems carry their default (disabled) values.
+struct RunReport {
+  AuditReport audit;
+  TelemetryReport telemetry;
+  QosReport qos;
+};
+
 /// Transport interface used by SMs and MCs.
 class Fabric {
  public:
@@ -41,14 +52,20 @@ class Fabric {
   /// Injected packets per PacketType, summed over all NICs.
   virtual std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const = 0;
 
-  /// The merged invariant-audit report of the underlying networks
-  /// (default/disabled report when auditing is off — see noc/audit.hpp).
-  virtual AuditReport CollectAuditReport() const = 0;
+  /// The merged run report of the underlying networks: audit verdict,
+  /// telemetry snapshot and QoS outcome in one sweep (sections default to
+  /// their disabled values when the subsystem is off). Dual fabrics prefix
+  /// telemetry entities "req:" / "rep:" and sum QoS counters.
+  virtual RunReport CollectRunReport() const = 0;
 
-  /// The merged telemetry snapshot of the underlying networks
-  /// (default/disabled report when telemetry is off — see
-  /// noc/telemetry.hpp). Dual fabrics prefix entities "req:" / "rep:".
-  virtual TelemetryReport CollectTelemetry() const = 0;
+  /// Deprecated shim: the audit section of CollectRunReport(). Prefer the
+  /// unified collector — this survives only for older call sites.
+  AuditReport CollectAuditReport() const { return CollectRunReport().audit; }
+
+  /// Deprecated shim: the telemetry section of CollectRunReport().
+  TelemetryReport CollectTelemetry() const {
+    return CollectRunReport().telemetry;
+  }
 
   /// Snapshot support (DESIGN.md §10): serializes the full transport state
   /// so a run can resume bit-identically. Load requires a fabric built from
@@ -78,11 +95,9 @@ class SingleNetworkFabric final : public Fabric {
   NetworkSummary Summarize() const override;
   void ResetStats() override;
   std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override;
-  AuditReport CollectAuditReport() const override {
-    return network_.AuditResults();
-  }
-  TelemetryReport CollectTelemetry() const override {
-    return network_.TelemetryResults();
+  RunReport CollectRunReport() const override {
+    return RunReport{network_.AuditResults(), network_.TelemetryResults(),
+                     network_.QosResults()};
   }
   void Save(Serializer& s) const override { network_.Save(s); }
   void Load(Deserializer& d) override { network_.Load(d); }
@@ -114,18 +129,17 @@ class DualNetworkFabric final : public Fabric {
   NetworkSummary Summarize() const override;
   void ResetStats() override;
   std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override;
-  AuditReport CollectAuditReport() const override {
-    AuditReport merged = nets_[0]->AuditResults();
-    merged.Merge(nets_[1]->AuditResults());
-    return merged;
-  }
-  TelemetryReport CollectTelemetry() const override {
-    TelemetryReport merged;
-    merged.Merge(nets_[ClassIndex(TrafficClass::kRequest)]->TelemetryResults(),
-                 "req:");
-    merged.Merge(nets_[ClassIndex(TrafficClass::kReply)]->TelemetryResults(),
-                 "rep:");
-    return merged;
+  RunReport CollectRunReport() const override {
+    RunReport report;
+    report.audit = nets_[0]->AuditResults();
+    report.audit.Merge(nets_[1]->AuditResults());
+    report.telemetry.Merge(
+        nets_[ClassIndex(TrafficClass::kRequest)]->TelemetryResults(), "req:");
+    report.telemetry.Merge(
+        nets_[ClassIndex(TrafficClass::kReply)]->TelemetryResults(), "rep:");
+    report.qos = nets_[0]->QosResults();
+    report.qos.Merge(nets_[1]->QosResults());
+    return report;
   }
   void Save(Serializer& s) const override {
     for (const auto& net : nets_) net->Save(s);

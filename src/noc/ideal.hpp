@@ -43,12 +43,9 @@ class IdealFabric final : public Fabric {
   std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override {
     return packets_by_type_;
   }
-  /// Nothing to audit: no credits, buffers or wormholes exist here.
-  AuditReport CollectAuditReport() const override { return AuditReport{}; }
-  /// No links or VCs to sample either.
-  TelemetryReport CollectTelemetry() const override {
-    return TelemetryReport{};
-  }
+  /// Nothing to audit, sample or guarantee: no credits, buffers, links or
+  /// allocators exist here. Every section stays its disabled default.
+  RunReport CollectRunReport() const override { return RunReport{}; }
 
   /// Snapshot support (DESIGN.md §10): clock, in-flight heap (array saved
   /// verbatim so equal-due arrivals keep their order), stalled queues,

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cctype>
 #include <stdexcept>
 
+#include "common/enum_registry.hpp"
 #include "common/serialize.hpp"
 
 #include "noc/deadlock.hpp"
@@ -12,28 +12,24 @@
 
 namespace gnoc {
 
+const EnumRegistry<SchedulingMode>& SchedulingRegistry() {
+  static const EnumRegistry<SchedulingMode> registry{
+      "scheduling",
+      {{"full", SchedulingMode::kFull},
+       {"active-set", SchedulingMode::kActiveSet},
+       {"active", SchedulingMode::kActiveSet},
+       {"activeset", SchedulingMode::kActiveSet},
+       {"event", SchedulingMode::kEvent},
+       {"soa", SchedulingMode::kSoa}}};
+  return registry;
+}
+
 const char* SchedulingModeName(SchedulingMode m) {
-  switch (m) {
-    case SchedulingMode::kFull: return "full";
-    case SchedulingMode::kActiveSet: return "active-set";
-    case SchedulingMode::kEvent: return "event";
-    case SchedulingMode::kSoa: return "soa";
-  }
-  return "?";
+  return SchedulingRegistry().Name(m);
 }
 
 SchedulingMode ParseSchedulingMode(const std::string& name) {
-  std::string lower = name;
-  std::transform(lower.begin(), lower.end(), lower.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  if (lower == "full") return SchedulingMode::kFull;
-  if (lower == "active-set" || lower == "active" || lower == "activeset") {
-    return SchedulingMode::kActiveSet;
-  }
-  if (lower == "event") return SchedulingMode::kEvent;
-  if (lower == "soa") return SchedulingMode::kSoa;
-  throw std::invalid_argument(
-      "scheduling must be full|active-set|event|soa (got '" + name + "')");
+  return SchedulingRegistry().Parse(name);
 }
 
 namespace {
@@ -50,7 +46,9 @@ void ValidateDatelineVcs(const NetworkConfig& config) {
         "' needs dateline VC halves; dynamic partitioning can shrink a "
         "class to a single VC and is not supported");
   }
-  const VcPolicy policy(config.vc_policy, config.num_vcs);
+  const VcPolicy policy(config.vc_policy, config.num_vcs,
+                        {config.qos.classes[0].reserved_vcs,
+                         config.qos.classes[1].reserved_vcs});
   for (int c = 0; c < kNumClasses; ++c) {
     for (const LinkMode mode : {LinkMode::kMixed, LinkMode::kSingleClass}) {
       const VcRange range = policy.AllowedVcs(static_cast<TrafficClass>(c),
@@ -97,6 +95,7 @@ Network::Network(const NetworkConfig& config)
   rc.atomic_vc_realloc = config.atomic_vc_realloc;
   rc.dynamic_epoch = config.dynamic_epoch;
   rc.arbiter = config.arbiter;
+  rc.qos_arbitration = config.qos.arbitration;
   // The topology graph gives every router its port count and its
   // (destination, class) -> output-port LUT, so the routing function is
   // never evaluated per head flit.
@@ -111,6 +110,14 @@ Network::Network(const NetworkConfig& config)
   nc.max_deliveries_per_cycle = config.max_deliveries_per_cycle;
   nc.atomic_vc_realloc = config.atomic_vc_realloc;
   nc.dynamic_epoch = config.dynamic_epoch;
+  for (int c = 0; c < kNumClasses; ++c) {
+    const TrafficClassSpec& spec = config.qos.classes[static_cast<std::size_t>(c)];
+    rc.qos_priority[static_cast<std::size_t>(c)] = spec.priority;
+    rc.qos_reserved[static_cast<std::size_t>(c)] = spec.reserved_vcs;
+    nc.qos_rate[static_cast<std::size_t>(c)] = spec.rate;
+    nc.qos_burst[static_cast<std::size_t>(c)] = spec.burst;
+    nc.qos_reserved[static_cast<std::size_t>(c)] = spec.reserved_vcs;
+  }
 
   const int n = num_nodes();
   const int num_routers = topo_.num_routers();
@@ -214,7 +221,11 @@ Network::Network(const NetworkConfig& config)
   if (config_.telemetry) {
     telemetry_ = std::make_unique<Telemetry>(
         config_.telemetry_interval, config_.telemetry_max_windows,
-        kLatencyBucketWidth, kLatencyBuckets);
+        kLatencyBucketWidth, kLatencyBuckets,
+        std::array<std::string, kNumClasses>{config_.qos.classes[0].name,
+                                             config_.qos.classes[1].name},
+        std::array<double, kNumClasses>{config_.qos.classes[0].p99_target,
+                                        config_.qos.classes[1].p99_target});
     for (auto& r : routers_) telemetry_->RegisterRouter(r.get());
     for (auto& nc : nics_) {
       telemetry_->RegisterNic(nc.get());
@@ -764,10 +775,46 @@ NetworkSummary Network::Summarize() const {
       s.packet_latency[ci].Merge(ns.packet_latency[ci]);
       s.network_latency[ci].Merge(ns.network_latency[ci]);
       s.latency_histogram[ci].Merge(ns.latency_histogram[ci]);
+      s.qos_throttle_cycles[ci] += ns.qos_throttle_cycles[ci];
     }
   }
   for (const auto& r : routers_) s.flits_forwarded += r->stats().flits_forwarded;
   return s;
+}
+
+QosReport Network::QosResults() const {
+  QosReport report;
+  report.enabled = config_.qos.Enabled();
+  report.arbitration = config_.qos.arbitration;
+  const NetworkSummary summary = Summarize();
+  for (int c = 0; c < kNumClasses; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    const TrafficClassSpec& spec = config_.qos.classes[ci];
+    QosClassReport& cls = report.classes[ci];
+    cls.name = spec.name;
+    cls.priority = spec.priority;
+    cls.rate = spec.rate;
+    cls.burst = spec.burst;
+    cls.reserved_vcs = spec.reserved_vcs;
+    cls.p99_target = spec.p99_target;
+    cls.throttle_cycles = summary.qos_throttle_cycles[ci];
+    cls.packets_delivered = summary.packets_ejected[ci];
+    cls.p99_latency = summary.latency_histogram[ci].Percentile(99.0);
+  }
+  // SLO accounting rides on telemetry's windowed latency series; without
+  // the sampler the per-window judgement has no data and stays zero.
+  if (telemetry_ != nullptr) {
+    const TelemetryReport tr = telemetry_->Snapshot(now_);
+    for (const TelemetryLatency& lat : tr.latency) {
+      const SloSummary slo = ComputeSloSummary(lat, tr.sampled_until);
+      QosClassReport& cls =
+          report.classes[static_cast<std::size_t>(ClassIndex(lat.cls))];
+      cls.slo_windows = slo.windows;
+      cls.slo_violation_windows = slo.violation_windows;
+      cls.slo_time_in_violation = slo.time_in_violation;
+    }
+  }
+  return report;
 }
 
 std::uint64_t Network::LinkFlits(NodeId node, Port port,
@@ -795,6 +842,7 @@ void NetworkSummary::Save(Serializer& s) const {
   for (const RunningStats& r : packet_latency) r.Save(s);
   for (const RunningStats& r : network_latency) r.Save(s);
   for (const Histogram& h : latency_histogram) h.Save(s);
+  for (const std::uint64_t n : qos_throttle_cycles) s.U64(n);
   s.U64(flits_forwarded);
   s.U64(cycles);
 }
@@ -807,6 +855,7 @@ void NetworkSummary::Load(Deserializer& d) {
   for (RunningStats& r : packet_latency) r.Load(d);
   for (RunningStats& r : network_latency) r.Load(d);
   for (Histogram& h : latency_histogram) h.Load(d);
+  for (std::uint64_t& n : qos_throttle_cycles) n = d.U64();
   flits_forwarded = d.U64();
   cycles = d.U64();
 }

@@ -20,6 +20,7 @@
 #include "noc/event_queue.hpp"
 #include "noc/nic.hpp"
 #include "noc/packet.hpp"
+#include "noc/qos.hpp"
 #include "noc/router.hpp"
 #include "noc/telemetry.hpp"
 #include "noc/topology.hpp"
@@ -61,6 +62,13 @@ const char* SchedulingModeName(SchedulingMode m);
 /// Parses "full" / "active-set" / "active" / "event" / "soa"
 /// (case-insensitive). Throws std::invalid_argument on unknown names.
 SchedulingMode ParseSchedulingMode(const std::string& name);
+
+template <typename E>
+class EnumRegistry;
+
+/// The scheduling-mode name registry behind the two helpers above (flag
+/// registration wants its canonical choice list).
+const EnumRegistry<SchedulingMode>& SchedulingRegistry();
 
 /// Full network configuration.
 struct NetworkConfig {
@@ -108,6 +116,10 @@ struct NetworkConfig {
   /// Component scheduling discipline; kActiveSet and kEvent skip idle
   /// routers/NICs/channels bit-identically (see SchedulingMode).
   SchedulingMode scheduling = SchedulingMode::kFull;
+  /// Per-class QoS contracts (noc/qos.hpp): allocator priorities, token-
+  /// bucket injection regulation, VC reservation, SLO targets. Defaults
+  /// are a no-op, bit-identical to a QoS-less build.
+  QosConfig qos;
 };
 
 /// Aggregated network-level counters (see also RouterStats / NicStats).
@@ -124,6 +136,8 @@ struct NetworkSummary {
   std::array<RunningStats, kNumClasses> network_latency;
   /// Merged per-class latency distributions (percentile queries).
   std::array<Histogram, kNumClasses> latency_histogram;
+  /// Cycles a NIC head packet sat token-bucket-blocked, by class (QoS).
+  std::array<std::uint64_t, kNumClasses> qos_throttle_cycles{};
   std::uint64_t flits_forwarded = 0;
   std::uint64_t cycles = 0;
 
@@ -239,6 +253,13 @@ class Network {
 
   /// The sampler itself (nullptr when telemetry is off); for tests.
   const Telemetry* telemetry() const { return telemetry_.get(); }
+
+  // --- QoS (config_.qos; see noc/qos.hpp) ---
+
+  /// The per-class QoS outcome: configured contract, throttle cycles,
+  /// delivered packets, whole-run p99, and (when telemetry is on and a
+  /// class sets a p99 target) SLO violation-window accounting.
+  QosReport QosResults() const;
 
   /// Plants `fault` in the first live channel that can host it (audit
   /// mutation tests). Returns false when no in-flight victim exists (e.g.

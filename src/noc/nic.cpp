@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <map>
 
 #include "common/serialize.hpp"
@@ -15,7 +16,7 @@ Nic::Nic(NodeId node, Coord coord, const NicConfig& config)
     : node_(node),
       coord_(coord),
       config_(config),
-      policy_(config.vc_policy, config.num_vcs),
+      policy_(config.vc_policy, config.num_vcs, config.qos_reserved),
       sends_(static_cast<std::size_t>(config.num_vcs)),
       credits_(static_cast<std::size_t>(config.num_vcs), config.vc_depth) {
   // Same seeding rule as Router (both ends of a link must agree).
@@ -25,6 +26,15 @@ Nic::Nic(NodeId node, Coord coord, const NicConfig& config)
   assert(config.vc_depth >= 1);
   assert(config.inject_queue_capacity >= 1);
   assert(config.eject_capacity >= 1);
+  for (int ci = 0; ci < kNumClasses; ++ci) {
+    if (config_.qos_rate[static_cast<std::size_t>(ci)] > 0.0) {
+      // Start with the full burst allowance (at least one flit, or a
+      // 1-flit packet could never be admitted).
+      qos_tokens_[static_cast<std::size_t>(ci)] =
+          std::max(1, config_.qos_burst[static_cast<std::size_t>(ci)]) *
+          kTokenScale;
+    }
+  }
 }
 
 void Nic::SetInjectionChannel(FlitChannel* channel) {
@@ -132,13 +142,49 @@ void Nic::ConsumeCredits(Cycle now) {
   }
 }
 
+bool Nic::QosAdmit(int ci, Cycle now) {
+  const auto c = static_cast<std::size_t>(ci);
+  const double rate = config_.qos_rate[c];
+  if (rate <= 0.0) return true;
+  // Lazy catch-up refill. The per-cycle increment is a fixed-point
+  // integer, so `cycles * increment` is exactly the sum of the per-cycle
+  // refills, and min-capping commutes with batching (it is monotone):
+  // refilling once after N idle cycles lands on the same token count as
+  // refilling every cycle.
+  const auto increment =
+      static_cast<std::int64_t>(std::llround(rate * kTokenScale));
+  const std::int64_t capacity =
+      std::max(1, config_.qos_burst[c]) * kTokenScale;
+  if (now > qos_refilled_[c] && increment > 0) {
+    auto elapsed = static_cast<std::int64_t>(now - qos_refilled_[c]);
+    // Cap the multiplication at "certainly full" so a long idle span can
+    // never overflow; the min() below makes any larger elapsed equivalent.
+    const std::int64_t to_full =
+        (capacity - qos_tokens_[c] + increment - 1) / increment;
+    elapsed = std::min(elapsed, std::max<std::int64_t>(to_full, 0));
+    qos_tokens_[c] = std::min(capacity, qos_tokens_[c] + increment * elapsed);
+    qos_refilled_[c] = now;
+  }
+  return qos_tokens_[c] >= 0;
+}
+
 void Nic::StartPackets(Cycle now) {
   // Alternate which class gets first pick each cycle to avoid starvation.
+  // The phase is derived from `now`, not from a tick counter: sparse
+  // schedulers skip idle NICs, so a counter would drift out of phase with
+  // the every-cycle backends and the class that wins a shared VC (fully
+  // monopolizing policies) would differ across scheduling modes.
   for (int k = 0; k < kNumClasses; ++k) {
-    const int ci = (start_rr_ + k) % kNumClasses;
+    const int ci = (static_cast<int>(now % kNumClasses) + k) % kNumClasses;
     auto& queue = inject_queues_[static_cast<std::size_t>(ci)];
     if (queue.empty()) continue;
     const auto cls = static_cast<TrafficClass>(ci);
+    if (!QosAdmit(ci, now)) {
+      // Rate-regulated: the head packet waits in the source queue; the
+      // stall is charged to the class, not the network.
+      ++stats_.qos_throttle_cycles[static_cast<std::size_t>(ci)];
+      continue;
+    }
     const VcRange range = InjectionRange(cls);
     VcId free_vc = kInvalidVc;
     for (VcId v = range.begin; v < range.end; ++v) {
@@ -150,6 +196,11 @@ void Nic::StartPackets(Cycle now) {
     if (free_vc == kInvalidVc) continue;
     auto [packet, dst_coord] = queue.front();
     queue.pop_front();
+    if (config_.qos_rate[static_cast<std::size_t>(ci)] > 0.0) {
+      // Charge the whole packet on admission; debt keeps later packets out.
+      qos_tokens_[static_cast<std::size_t>(ci)] -=
+          static_cast<std::int64_t>(packet.num_flits) * kTokenScale;
+    }
     packet.injected = now;
     ActiveSend& send = sends_[static_cast<std::size_t>(free_vc)];
     send.busy = true;
@@ -159,7 +210,6 @@ void Nic::StartPackets(Cycle now) {
       send.remaining.push_back(f);
     }
   }
-  start_rr_ = (start_rr_ + 1) % kNumClasses;
 }
 
 void Nic::SendFlits(Cycle now) {
@@ -300,6 +350,7 @@ void SaveNicStats(Serializer& s, const NicStats& st) {
   for (const RunningStats& r : st.network_latency) r.Save(s);
   s.U64(st.inject_stall_cycles);
   s.U64(st.inject_drain_cycles);
+  for (const std::uint64_t n : st.qos_throttle_cycles) s.U64(n);
   for (const Histogram& h : st.latency_histogram) h.Save(s);
 }
 
@@ -313,6 +364,7 @@ void LoadNicStats(Deserializer& d, NicStats& st) {
   for (RunningStats& r : st.network_latency) r.Load(d);
   st.inject_stall_cycles = d.U64();
   st.inject_drain_cycles = d.U64();
+  for (std::uint64_t& n : st.qos_throttle_cycles) n = d.U64();
   for (Histogram& h : st.latency_histogram) h.Load(d);
 }
 
@@ -335,7 +387,6 @@ void Nic::Save(Serializer& s) const {
   }
   for (const int c : credits_) s.I32(c);
   s.U64(send_rr_);
-  s.I32(start_rr_);
   s.I32(boundary_);
   for (const std::uint64_t n : epoch_flits_) s.U64(n);
   s.Bool(epoch_dirty_);
@@ -353,6 +404,8 @@ void Nic::Save(Serializer& s) const {
     s.U64(id);
     s.I32(flits);
   }
+  for (const std::int64_t t : qos_tokens_) s.I64(t);
+  for (const Cycle c : qos_refilled_) s.U64(c);
   SaveNicStats(s, stats_);
 }
 
@@ -382,7 +435,6 @@ void Nic::Load(Deserializer& d) {
   }
   for (int& c : credits_) c = d.I32();
   send_rr_ = d.U64();
-  start_rr_ = d.I32();
   boundary_ = d.I32();
   for (std::uint64_t& n : epoch_flits_) n = d.U64();
   epoch_dirty_ = d.Bool();
@@ -403,6 +455,8 @@ void Nic::Load(Deserializer& d) {
     const PacketId id = d.U64();
     assembled_[id] = d.I32();
   }
+  for (std::int64_t& t : qos_tokens_) t = d.I64();
+  for (Cycle& c : qos_refilled_) c = d.U64();
   LoadNicStats(d, stats_);
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -51,12 +52,23 @@ struct NicConfig {
   bool atomic_vc_realloc = true;
   /// Epoch length of dynamic partitioning (vc_policy == kDynamic only).
   Cycle dynamic_epoch = 512;
+  /// QoS token-bucket regulation per class (DESIGN.md §15): sustained rate
+  /// in flits/cycle (0 = unregulated) and burst allowance in flits.
+  std::array<double, kNumClasses> qos_rate{};
+  std::array<int, kNumClasses> qos_burst{};
+  /// QoS VC reservation per class, forwarded to the VcPolicy.
+  std::array<int, kNumClasses> qos_reserved{};
 };
 
 /// Geometry of the per-NIC latency histograms: 64 buckets of 32 cycles
 /// (0..2048) plus overflow — wide enough for saturated reply networks.
 inline constexpr double kLatencyBucketWidth = 32.0;
 inline constexpr std::size_t kLatencyBuckets = 64;
+
+/// Fixed-point scale of the QoS token buckets: one flit of credit is
+/// kTokenScale units. Integer arithmetic keeps refills bit-identical
+/// across scheduling backends (no accumulated floating-point drift).
+inline constexpr std::int64_t kTokenScale = std::int64_t{1} << 20;
 
 /// Per-NIC counters.
 struct NicStats {
@@ -79,6 +91,9 @@ struct NicStats {
   std::uint64_t inject_stall_cycles = 0;
   /// Cycles nothing was sent and every busy VC was merely draining.
   std::uint64_t inject_drain_cycles = 0;
+  /// Cycles a class had a queued packet held back solely by its QoS token
+  /// bucket (rate regulation stall; charged once per blocked cycle).
+  std::array<std::uint64_t, kNumClasses> qos_throttle_cycles{};
   /// Per-class end-to-end latency distribution (see kLatencyBucketWidth).
   std::array<Histogram, kNumClasses> latency_histogram;
 };
@@ -194,8 +209,8 @@ class Nic {
   Cycle next_boundary_update() const { return next_boundary_update_; }
 
   /// Snapshot support (DESIGN.md §10): queues, in-flight sends, credits,
-  /// round-robin pointers, dynamic-boundary state, ejection/reassembly
-  /// state and stats. Wiring pointers and `inject_flits_per_cycle_` are
+  /// round-robin pointers, dynamic-boundary state, QoS token buckets,
+  /// ejection/reassembly state and stats. Wiring pointers and `inject_flits_per_cycle_` are
   /// reapplied by the owner at construction and not serialized.
   void Save(Serializer& s) const;
   void Load(Deserializer& d);
@@ -216,6 +231,13 @@ class Nic {
 
   /// Pops returned credits from the router.
   void ConsumeCredits(Cycle now);
+  /// Lazily refills the class's token bucket up to `now`, then reports
+  /// whether its head packet may start (tokens non-negative). Unregulated
+  /// classes always pass. StartPackets charges the admitted packet's flit
+  /// count, which may drive the bucket negative (debt) — later packets
+  /// wait the debt out, so the long-run admitted rate never exceeds the
+  /// configured rate.
+  bool QosAdmit(int ci, Cycle now);
   /// Binds queued packets to free VCs allowed by the policy.
   void StartPackets(Cycle now);
   /// Sends up to inject_flits_per_cycle_ flits across busy VCs
@@ -241,11 +263,17 @@ class Nic {
   std::vector<ActiveSend> sends_;   // per VC
   std::vector<int> credits_;       // per VC
   std::size_t send_rr_ = 0;        // round-robin pointer over VCs
-  int start_rr_ = 0;               // round-robin pointer over classes
   int inject_flits_per_cycle_ = 1;
 
   WakeHook wake_;
   std::uint64_t* progress_sink_ = nullptr;
+
+  // QoS token-bucket state (fixed-point; see kTokenScale). Buckets start
+  // full (burst worth of credit) and refill lazily on demand: min-capping
+  // is monotone, so one batched refill equals per-cycle refills and the
+  // admission sequence is bit-identical across scheduling backends.
+  std::array<std::int64_t, kNumClasses> qos_tokens_{};
+  std::array<Cycle, kNumClasses> qos_refilled_{};  // bucket caught up to here
 
   // Dynamic-partitioning state for the injection link.
   VcId boundary_ = 1;

@@ -19,7 +19,7 @@ Router::Router(NodeId node, Coord coord, const RouterConfig& config)
     : node_(node),
       coord_(coord),
       config_(config),
-      policy_(config.vc_policy, config.num_vcs) {
+      policy_(config.vc_policy, config.num_vcs, config.qos_reserved) {
   assert(config.num_vcs >= 1);
   assert(config.vc_depth >= 1);
   const Topology* topo = config_.topology;
@@ -83,6 +83,9 @@ Router::Router(NodeId node, Coord coord, const RouterConfig& config)
     sa_output_arb_.push_back(
         MakeArbiter(config_.arbiter, static_cast<std::size_t>(num_ports_)));
   }
+  qos_va_credit_.assign(static_cast<std::size_t>(num_ports_), {});
+  qos_sa1_credit_.assign(static_cast<std::size_t>(num_ports_), {});
+  qos_sa2_credit_.assign(static_cast<std::size_t>(num_ports_), {});
 }
 
 void Router::SetOutputChannel(Port out_port, FlitChannel* channel) {
@@ -246,7 +249,13 @@ void Router::RouteAndAllocate(Cycle now) {
       }
     }
     while (num_requests > 0) {
-      const int winner = va_arb_[static_cast<std::size_t>(op)]->Arbitrate(requests);
+      const int winner = QosArbitrate(
+          *va_arb_[static_cast<std::size_t>(op)], requests,
+          config_.qos_arbitration, config_.qos_priority,
+          qos_va_credit_[static_cast<std::size_t>(op)], [&](int i) {
+            return ClassIndex(
+                input_vcs_[static_cast<std::size_t>(i)].buffer.Front().cls);
+          });
       if (winner < 0) break;
       requests[static_cast<std::size_t>(winner)] = false;
       --num_requests;
@@ -303,8 +312,13 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
       }
     }
     if (any) {
-      nominee[static_cast<std::size_t>(p)] =
-          sa_input_arb_[static_cast<std::size_t>(p)]->Arbitrate(requests);
+      nominee[static_cast<std::size_t>(p)] = QosArbitrate(
+          *sa_input_arb_[static_cast<std::size_t>(p)], requests,
+          config_.qos_arbitration, config_.qos_priority,
+          qos_sa1_credit_[static_cast<std::size_t>(p)], [&](int v) {
+            return ClassIndex(
+                Ivc(static_cast<Port>(p), v).buffer.Front().cls);
+          });
     }
   }
 
@@ -324,8 +338,14 @@ void Router::SwitchAllocateAndTraverse(Cycle now) {
       }
     }
     if (any) {
-      grant[static_cast<std::size_t>(op)] =
-          sa_output_arb_[static_cast<std::size_t>(op)]->Arbitrate(requests);
+      grant[static_cast<std::size_t>(op)] = QosArbitrate(
+          *sa_output_arb_[static_cast<std::size_t>(op)], requests,
+          config_.qos_arbitration, config_.qos_priority,
+          qos_sa2_credit_[static_cast<std::size_t>(op)], [&](int p2) {
+            const int v2 = nominee[static_cast<std::size_t>(p2)];
+            return ClassIndex(
+                Ivc(static_cast<Port>(p2), v2).buffer.Front().cls);
+          });
     }
   }
 
@@ -436,6 +456,15 @@ void Router::Save(Serializer& s) const {
   for (const auto& arb : va_arb_) arb->Save(s);
   for (const auto& arb : sa_input_arb_) arb->Save(s);
   for (const auto& arb : sa_output_arb_) arb->Save(s);
+  for (const auto& credit : qos_va_credit_) {
+    for (const int c : credit) s.I32(c);
+  }
+  for (const auto& credit : qos_sa1_credit_) {
+    for (const int c : credit) s.I32(c);
+  }
+  for (const auto& credit : qos_sa2_credit_) {
+    for (const int c : credit) s.I32(c);
+  }
   for (const auto& per_port : stats_.flits_out) {
     for (const std::uint64_t n : per_port) s.U64(n);
   }
@@ -470,6 +499,15 @@ void Router::Load(Deserializer& d) {
   for (const auto& arb : va_arb_) arb->Load(d);
   for (const auto& arb : sa_input_arb_) arb->Load(d);
   for (const auto& arb : sa_output_arb_) arb->Load(d);
+  for (auto& credit : qos_va_credit_) {
+    for (int& c : credit) c = d.I32();
+  }
+  for (auto& credit : qos_sa1_credit_) {
+    for (int& c : credit) c = d.I32();
+  }
+  for (auto& credit : qos_sa2_credit_) {
+    for (int& c : credit) c = d.I32();
+  }
   for (auto& per_port : stats_.flits_out) {
     for (std::uint64_t& n : per_port) n = d.U64();
   }

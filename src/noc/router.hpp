@@ -18,6 +18,7 @@
 // route LUT also carries the dateline VC half each hop must allocate from.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -28,6 +29,7 @@
 #include "noc/arbiter.hpp"
 #include "noc/buffer.hpp"
 #include "noc/channel.hpp"
+#include "noc/qos.hpp"
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
 #include "noc/vc_policy.hpp"
@@ -43,6 +45,94 @@ class SoaCore;
 /// the Network validates that for every dateline topology at construction.
 /// Shared by the router's VA stage and its SoA replica (noc/soa_core.cpp).
 VcRange DatelineHalf(VcRange range, std::int8_t half);
+
+/// One QoS-aware arbiter invocation, shared verbatim by the object router
+/// (router.cpp) and its SoA replica (soa_core.cpp) — any change here keeps
+/// the backends bit-identical by construction. `cls_of(i)` maps a request
+/// index to its class index and is only called for indices with
+/// requests[i] == true (and for the winner). Under kNone this is exactly
+/// `arb.Arbitrate(requests)`. kStrict masks the requests to the
+/// highest-priority requesting class; ties fall through to plain
+/// arbitration. kWrr spends per-class credits (`wrr_credit`, persistent
+/// per arbiter site): when no requesting class holds credit the credits
+/// recharge to the class weights, the mask keeps funded classes only, and
+/// the winner's class pays one credit.
+template <typename ClsOf>
+int QosArbitrate(Arbiter& arb, const std::vector<bool>& requests,
+                 QosArbitration mode,
+                 const std::array<int, kNumClasses>& priority,
+                 std::array<int, kNumClasses>& wrr_credit, ClsOf&& cls_of) {
+  if (mode == QosArbitration::kNone) return arb.Arbitrate(requests);
+  std::array<bool, kNumClasses> requesting{};
+  bool any = false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i]) {
+      requesting[static_cast<std::size_t>(cls_of(static_cast<int>(i)))] = true;
+      any = true;
+    }
+  }
+  if (!any) return arb.Arbitrate(requests);  // vacuous: arbiter returns -1
+  std::array<bool, kNumClasses> allowed{};
+  if (mode == QosArbitration::kStrict) {
+    int best = 0;
+    bool seeded = false;
+    for (int c = 0; c < kNumClasses; ++c) {
+      if (requesting[static_cast<std::size_t>(c)] &&
+          (!seeded || priority[static_cast<std::size_t>(c)] > best)) {
+        best = priority[static_cast<std::size_t>(c)];
+        seeded = true;
+      }
+    }
+    for (int c = 0; c < kNumClasses; ++c) {
+      allowed[static_cast<std::size_t>(c)] =
+          requesting[static_cast<std::size_t>(c)] &&
+          priority[static_cast<std::size_t>(c)] == best;
+    }
+  } else {  // kWrr
+    bool funded = false;
+    for (int c = 0; c < kNumClasses; ++c) {
+      if (requesting[static_cast<std::size_t>(c)] &&
+          wrr_credit[static_cast<std::size_t>(c)] > 0) {
+        funded = true;
+      }
+    }
+    if (!funded) {
+      for (int c = 0; c < kNumClasses; ++c) {
+        wrr_credit[static_cast<std::size_t>(c)] =
+            std::max(1, priority[static_cast<std::size_t>(c)]);
+      }
+    }
+    for (int c = 0; c < kNumClasses; ++c) {
+      allowed[static_cast<std::size_t>(c)] =
+          requesting[static_cast<std::size_t>(c)] &&
+          wrr_credit[static_cast<std::size_t>(c)] > 0;
+    }
+  }
+  bool unmasked = true;
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (requesting[static_cast<std::size_t>(c)] &&
+        !allowed[static_cast<std::size_t>(c)]) {
+      unmasked = false;
+    }
+  }
+  int winner;
+  if (unmasked) {
+    winner = arb.Arbitrate(requests);
+  } else {
+    std::vector<bool> masked(requests);
+    for (std::size_t i = 0; i < masked.size(); ++i) {
+      if (masked[i] &&
+          !allowed[static_cast<std::size_t>(cls_of(static_cast<int>(i)))]) {
+        masked[i] = false;
+      }
+    }
+    winner = arb.Arbitrate(masked);
+  }
+  if (mode == QosArbitration::kWrr && winner >= 0) {
+    --wrr_credit[static_cast<std::size_t>(cls_of(winner))];
+  }
+  return winner;
+}
 
 /// Static configuration shared by every router in a network.
 struct RouterConfig {
@@ -61,6 +151,13 @@ struct RouterConfig {
   Cycle dynamic_epoch = 512;
   /// Arbiter microarchitecture used by the VA and SA stages.
   ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+  /// QoS class precedence in the VA/SA stages (DESIGN.md §15). kNone keeps
+  /// the allocators bit-identical to the pre-QoS router.
+  QosArbitration qos_arbitration = QosArbitration::kNone;
+  /// Per-class priority (strict: higher wins; WRR: weight = max(1, prio)).
+  std::array<int, kNumClasses> qos_priority{};
+  /// QoS VC reservation per class, forwarded to the VcPolicy.
+  std::array<int, kNumClasses> qos_reserved{};
   /// The topology graph, when the router lives in a Network: drives the
   /// port count, the local-port count and the per-(destination, class)
   /// route LUT (the router's node id is its index in the topology).
@@ -342,6 +439,12 @@ class Router {
   std::vector<std::unique_ptr<Arbiter>> va_arb_;
   std::vector<std::unique_ptr<Arbiter>> sa_input_arb_;
   std::vector<std::unique_ptr<Arbiter>> sa_output_arb_;
+
+  // Per-site WRR credit state (qos_arbitration == kWrr only; see
+  // QosArbitrate). One entry per arbiter above, indexed like it.
+  std::vector<std::array<int, kNumClasses>> qos_va_credit_;
+  std::vector<std::array<int, kNumClasses>> qos_sa1_credit_;
+  std::vector<std::array<int, kNumClasses>> qos_sa2_credit_;
 
   RouterStats stats_;
 };

@@ -217,8 +217,15 @@ void SoaCore::TickRouter(std::size_t r, Cycle now) {
       }
     }
     while (num_requests > 0) {
-      const int winner =
-          rt.va_arb_[static_cast<std::size_t>(op)]->Arbitrate(va_requests_);
+      // QoS-aware arbitration, identical to Router::RouteAndAllocate (the
+      // shared QosArbitrate helper keeps the backends bit-identical).
+      const int winner = QosArbitrate(
+          *rt.va_arb_[static_cast<std::size_t>(op)], va_requests_,
+          rt.config_.qos_arbitration, rt.config_.qos_priority,
+          rt.qos_va_credit_[static_cast<std::size_t>(op)], [&](int i) {
+            return ClassIndex(
+                rt.input_vcs_[static_cast<std::size_t>(i)].buffer.Front().cls);
+          });
       if (winner < 0) break;
       va_requests_[static_cast<std::size_t>(winner)] = false;
       --num_requests;
@@ -287,9 +294,15 @@ void SoaCore::TickRouter(std::size_t r, Cycle now) {
       }
     }
     if (any) {
-      const int won =
-          rt.sa_input_arb_[static_cast<std::size_t>(p)]->Arbitrate(
-              sa1_requests_);
+      const int won = QosArbitrate(
+          *rt.sa_input_arb_[static_cast<std::size_t>(p)], sa1_requests_,
+          rt.config_.qos_arbitration, rt.config_.qos_priority,
+          rt.qos_sa1_credit_[static_cast<std::size_t>(p)], [&](int v2) {
+            return ClassIndex(
+                rt.input_vcs_[static_cast<std::size_t>(p * num_vcs_ + v2)]
+                    .buffer.Front()
+                    .cls);
+          });
       nominee_[static_cast<std::size_t>(p)] = won;
       if (won >= 0) ++num_nominees;
     }
@@ -315,9 +328,16 @@ void SoaCore::TickRouter(std::size_t r, Cycle now) {
       }
     }
     if (any) {
-      grant_[static_cast<std::size_t>(op)] =
-          rt.sa_output_arb_[static_cast<std::size_t>(op)]->Arbitrate(
-              sa2_requests_);
+      grant_[static_cast<std::size_t>(op)] = QosArbitrate(
+          *rt.sa_output_arb_[static_cast<std::size_t>(op)], sa2_requests_,
+          rt.config_.qos_arbitration, rt.config_.qos_priority,
+          rt.qos_sa2_credit_[static_cast<std::size_t>(op)], [&](int p2) {
+            const int v2 = nominee_[static_cast<std::size_t>(p2)];
+            return ClassIndex(
+                rt.input_vcs_[static_cast<std::size_t>(p2 * num_vcs_ + v2)]
+                    .buffer.Front()
+                    .cls);
+          });
     }
   }
 

@@ -23,6 +23,24 @@ Cycle EffectiveCycles(Cycle start, Cycle width, Cycle sampled_until) {
 
 }  // namespace
 
+SloSummary ComputeSloSummary(const TelemetryLatency& latency,
+                             Cycle sampled_until) {
+  SloSummary slo;
+  if (latency.p99_target <= 0.0) return slo;
+  for (std::size_t i = 0; i < latency.windows.num_windows(); ++i) {
+    const Histogram& h = latency.windows.Window(i);
+    if (h.count() == 0) continue;  // no deliveries => nothing to judge
+    ++slo.windows;
+    if (h.Percentile(99) > latency.p99_target) {
+      ++slo.violation_windows;
+      slo.time_in_violation +=
+          EffectiveCycles(latency.windows.WindowStart(i),
+                          latency.windows.window_width(), sampled_until);
+    }
+  }
+  return slo;
+}
+
 // ---------------------------------------------------------------------------
 // TelemetryReport
 
@@ -192,6 +210,24 @@ void TelemetryReport::WriteJson(JsonWriter& w) const {
       w.Key(l.label).Value(count);
     }
     w.EndObject();
+    // Per-class SLO accounting, present only for classes with a target.
+    bool any_slo = false;
+    for (const TelemetryLatency& l : latency) any_slo |= l.p99_target > 0.0;
+    if (any_slo) {
+      w.Key("slo").BeginObject();
+      for (const TelemetryLatency& l : latency) {
+        if (l.p99_target <= 0.0) continue;
+        const SloSummary slo = ComputeSloSummary(l, sampled_until);
+        w.Key(l.label).BeginObject();
+        w.Key("p99_target").Value(l.p99_target);
+        w.Key("windows").Value(slo.windows);
+        w.Key("violation_windows").Value(slo.violation_windows);
+        w.Key("time_in_violation")
+            .Value(static_cast<std::uint64_t>(slo.time_in_violation));
+        w.EndObject();
+      }
+      w.EndObject();
+    }
   }
   w.EndObject();
 }
@@ -231,16 +267,22 @@ bool SteadyStateDetector::AddWindow(double mean_latency) {
 // Telemetry
 
 Telemetry::Telemetry(Cycle interval, std::size_t max_windows,
-                     double latency_bucket_width, std::size_t latency_buckets)
+                     double latency_bucket_width, std::size_t latency_buckets,
+                     std::array<std::string, kNumClasses> class_labels,
+                     std::array<double, kNumClasses> p99_targets)
     : interval_(interval < 1 ? 1 : interval),
       max_windows_(max_windows),
       next_sample_(interval_) {
   for (int c = 0; c < kNumClasses; ++c) {
     const auto cls = static_cast<TrafficClass>(c);
+    const auto ci = static_cast<std::size_t>(c);
+    const std::string label =
+        class_labels[ci].empty() ? ClassName(cls) : class_labels[ci];
     latency_.push_back(TelemetryLatency{
-        cls, ClassName(cls),
+        cls, label,
         HistogramSeries(interval_, max_windows_, latency_bucket_width,
-                        latency_buckets)});
+                        latency_buckets),
+        p99_targets[ci]});
   }
 }
 
@@ -540,6 +582,7 @@ void TelemetryReport::Save(Serializer& s) const {
   for (const TelemetryLatency& l : latency) {
     s.U8(static_cast<std::uint8_t>(l.cls));
     s.Str(l.label);
+    s.Double(l.p99_target);
     l.windows.Save(s);
   }
 }
@@ -568,6 +611,7 @@ void TelemetryReport::Load(Deserializer& d) {
                        HistogramSeries(1, 0, 1.0, 1)};
     l.cls = static_cast<TrafficClass>(d.U8());
     l.label = d.Str();
+    l.p99_target = d.Double();
     l.windows.Load(d);
     latency.push_back(std::move(l));
   }

@@ -35,6 +35,7 @@
 // chrome://tracing or Perfetto).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -68,12 +69,31 @@ struct TelemetryTrack {
 };
 
 /// Windowed packet-latency distribution of one traffic class. `label` is
-/// the display name ("request"/"reply", prefixed on merge).
+/// the display name (the TrafficClassSpec name, "request"/"reply" by
+/// default; prefixed on merge). `p99_target` is the class's SLO latency
+/// target in cycles (0 = none; see ComputeSloSummary).
 struct TelemetryLatency {
   TrafficClass cls = TrafficClass::kRequest;
   std::string label;
   HistogramSeries windows;
+  double p99_target = 0.0;
 };
+
+/// SLO violation accounting over one class's windowed latency series: a
+/// window with at least one delivery is judged against the p99 target,
+/// and a violating window contributes its (partial-window-clipped) width
+/// to time-in-violation.
+struct SloSummary {
+  std::uint64_t windows = 0;            ///< non-empty windows judged
+  std::uint64_t violation_windows = 0;  ///< windows whose p99 > target
+  Cycle time_in_violation = 0;          ///< cycles in violating windows
+};
+
+/// Judges `latency` against its own p99 target. Returns a zero summary
+/// when no target is set. `sampled_until` clips the last partial window
+/// (pass TelemetryReport::sampled_until).
+SloSummary ComputeSloSummary(const TelemetryLatency& latency,
+                             Cycle sampled_until);
 
 /// Value snapshot of one run's telemetry (merged across physical networks
 /// by Fabric::CollectTelemetry). Default-constructed = disabled.
@@ -153,8 +173,13 @@ class Telemetry {
  public:
   /// `latency_bucket_width`/`latency_buckets` fix the windowed-histogram
   /// geometry (the NIC's kLatencyBucketWidth/kLatencyBuckets by default).
+  /// `class_labels`/`p99_targets` carry the per-class TrafficClassSpec
+  /// identity into the latency series (empty label = default class name;
+  /// target 0 = no SLO).
   Telemetry(Cycle interval, std::size_t max_windows,
-            double latency_bucket_width, std::size_t latency_buckets);
+            double latency_bucket_width, std::size_t latency_buckets,
+            std::array<std::string, kNumClasses> class_labels = {},
+            std::array<double, kNumClasses> p99_targets = {});
 
   // --- wiring (called once by the Network, after channels exist) ---
 

@@ -2,21 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cctype>
 #include <cmath>
 #include <deque>
 #include <stdexcept>
 
+#include "common/enum_registry.hpp"
+
 namespace gnoc {
 
 namespace {
-
-std::string Lower(const std::string& s) {
-  std::string out = s;
-  std::transform(out.begin(), out.end(), out.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return out;
-}
 
 // Circulant port numbering: 0 = local, then one port per signed step.
 constexpr int kCircPlusS1 = 1;
@@ -34,28 +28,25 @@ constexpr int kCMeshWest = 7;
 
 }  // namespace
 
-const char* TopologyName(TopologyKind k) {
-  switch (k) {
-    case TopologyKind::kMesh: return "mesh";
-    case TopologyKind::kTorus: return "torus";
-    case TopologyKind::kCMesh: return "cmesh";
-    case TopologyKind::kCirculant: return "circulant";
-  }
-  return "?";
+const EnumRegistry<TopologyKind>& TopologyRegistry() {
+  static const EnumRegistry<TopologyKind> kRegistry{
+      "topology",
+      {
+          {"mesh", TopologyKind::kMesh},
+          {"torus", TopologyKind::kTorus},
+          {"cmesh", TopologyKind::kCMesh},
+          {"concentrated", TopologyKind::kCMesh},
+          {"concentrated-mesh", TopologyKind::kCMesh},
+          {"circulant", TopologyKind::kCirculant},
+          {"ring-circulant", TopologyKind::kCirculant},
+      }};
+  return kRegistry;
 }
 
+const char* TopologyName(TopologyKind k) { return TopologyRegistry().Name(k); }
+
 TopologyKind ParseTopology(const std::string& name) {
-  const std::string n = Lower(name);
-  if (n == "mesh") return TopologyKind::kMesh;
-  if (n == "torus") return TopologyKind::kTorus;
-  if (n == "cmesh" || n == "concentrated" || n == "concentrated-mesh") {
-    return TopologyKind::kCMesh;
-  }
-  if (n == "circulant" || n == "ring-circulant") {
-    return TopologyKind::kCirculant;
-  }
-  throw std::invalid_argument("unknown topology: '" + name +
-                              "' (mesh|torus|cmesh|circulant)");
+  return TopologyRegistry().Parse(name);
 }
 
 void Topology::AllocateTable() {

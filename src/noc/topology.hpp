@@ -38,6 +38,9 @@
 
 namespace gnoc {
 
+template <typename E>
+class EnumRegistry;
+
 /// The supported topology families.
 enum class TopologyKind : std::uint8_t {
   kMesh = 0,
@@ -46,11 +49,16 @@ enum class TopologyKind : std::uint8_t {
   kCirculant = 3,
 };
 
+/// The name/alias table behind TopologyName and ParseTopology; flag
+/// registration uses its canonical names directly.
+const EnumRegistry<TopologyKind>& TopologyRegistry();
+
 /// Human readable name ("mesh", "torus", "cmesh", "circulant").
 const char* TopologyName(TopologyKind k);
 
-/// Parses "mesh" / "torus" / "cmesh" / "circulant" (case-insensitive).
-/// Throws std::invalid_argument on unknown names.
+/// Parses "mesh" / "torus" / "cmesh" / "circulant" (case-insensitive;
+/// aliases like "concentrated" accepted). Throws std::invalid_argument
+/// on unknown names.
 TopologyKind ParseTopology(const std::string& name);
 
 /// One routing decision: the output port to take at a router, and — on

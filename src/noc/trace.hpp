@@ -86,11 +86,8 @@ class RecordingFabric final : public Fabric {
   NetworkSummary Summarize() const override;
   void ResetStats() override;
   std::array<std::uint64_t, kNumPacketTypes> PacketsByType() const override;
-  AuditReport CollectAuditReport() const override {
-    return inner_->CollectAuditReport();
-  }
-  TelemetryReport CollectTelemetry() const override {
-    return inner_->CollectTelemetry();
+  RunReport CollectRunReport() const override {
+    return inner_->CollectRunReport();
   }
   /// Saves the wrapped fabric followed by the recorded trace.
   void Save(Serializer& s) const override;

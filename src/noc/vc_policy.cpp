@@ -36,23 +36,45 @@ VcPolicyKind ParseVcPolicy(const std::string& name) {
   throw std::invalid_argument("unknown VC policy: '" + name + "'");
 }
 
-VcPolicy::VcPolicy(VcPolicyKind kind, int num_vcs)
-    : kind_(kind), num_vcs_(num_vcs) {
+VcPolicy::VcPolicy(VcPolicyKind kind, int num_vcs,
+                   std::array<int, kNumClasses> reserved)
+    : kind_(kind), num_vcs_(num_vcs), reserved_(reserved) {
   assert(num_vcs >= 1);
   if (kind != VcPolicyKind::kFullMonopolize) {
     // Partitioning policies need at least one VC per class.
     assert(num_vcs >= 2);
   }
+  if (reserved_[0] == 0 && reserved_[1] == 0) return;
+  if (reserved_[0] < 0 || reserved_[1] < 0) {
+    throw std::invalid_argument("reserved VC counts must be >= 0");
+  }
+  if (kind_ == VcPolicyKind::kDynamic) {
+    throw std::invalid_argument(
+        "vc_policy=dynamic is incompatible with reserved VCs: the per-port "
+        "feedback boundary bypasses the static reservation map");
+  }
+  const int shared = num_vcs_ - reserved_[0] - reserved_[1];
+  if (shared < 0) {
+    throw std::invalid_argument("reserved VCs exceed num_vcs");
+  }
+  if (shared == 0 && (reserved_[0] == 0 || reserved_[1] == 0)) {
+    throw std::invalid_argument(
+        "reserved VCs leave a class with no usable VC");
+  }
+  if (shared == 1 && kind_ != VcPolicyKind::kFullMonopolize) {
+    throw std::invalid_argument(
+        "reserved VCs leave a 1-VC shared pool that a partitioning "
+        "vc_policy cannot divide; reserve it too or free one VC");
+  }
 }
 
-VcRange VcPolicy::AllowedVcs(TrafficClass cls, Port link_direction,
-                             LinkMode mode) const {
-  (void)link_direction;
-  const VcRange all{0, num_vcs_};
-  const VcRange split_request{0, num_vcs_ / 2};
-  const VcRange split_reply{num_vcs_ / 2, num_vcs_};
+VcRange VcPolicy::BaseAllowedVcs(TrafficClass cls, LinkMode mode,
+                                 int num_vcs) const {
+  const VcRange all{0, num_vcs};
+  const VcRange split_request{0, num_vcs / 2};
+  const VcRange split_reply{num_vcs / 2, num_vcs};
   const VcRange asym_request{0, 1};
-  const VcRange asym_reply{1, num_vcs_};
+  const VcRange asym_reply{1, num_vcs};
 
   switch (kind_) {
     case VcPolicyKind::kSplit:
@@ -74,6 +96,32 @@ VcRange VcPolicy::AllowedVcs(TrafficClass cls, Port link_direction,
       return cls == TrafficClass::kRequest ? split_request : split_reply;
   }
   return all;
+}
+
+VcRange VcPolicy::AllowedVcs(TrafficClass cls, Port link_direction,
+                             LinkMode mode) const {
+  (void)link_direction;
+  const int r0 = reserved_[0];
+  const int r1 = reserved_[1];
+  if (r0 == 0 && r1 == 0) return BaseAllowedVcs(cls, mode, num_vcs_);
+
+  // Reservation layering: class 0 owns [0, r0), class 1 owns
+  // [num_vcs - r1, num_vcs), and the base policy divides the shared pool
+  // in between. Every base policy gives class 0 a range starting at 0 and
+  // class 1 a range ending at the pool size, so the mapped ranges stay
+  // contiguous: each class's reserve abuts its share of the pool.
+  const int shared = num_vcs_ - r0 - r1;
+  if (shared == 0) {
+    return cls == TrafficClass::kRequest ? VcRange{0, r0}
+                                         : VcRange{r0, num_vcs_};
+  }
+  const VcRange base = BaseAllowedVcs(cls, mode, shared);
+  if (cls == TrafficClass::kRequest) {
+    assert(base.begin == 0);
+    return VcRange{0, r0 + base.end};
+  }
+  assert(base.end == shared);
+  return VcRange{r0 + base.begin, num_vcs_};
 }
 
 VcRange PartitionAt(TrafficClass cls, VcId boundary, int num_vcs) {

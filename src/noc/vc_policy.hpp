@@ -25,8 +25,16 @@
 //                      each keeps >= 1 VC), but needs per-router counters
 //                      and an update mechanism — the hardware overhead the
 //                      paper's static schemes avoid.
+//
+// QoS VC reservation (DESIGN.md §15) layers under every static policy:
+// each class may reserve VCs it always owns (class 0 the lowest indices,
+// class 1 the highest), and the configured policy divides only the
+// remaining shared pool. Under full monopolizing this yields "everything
+// except the other class's reserve", preserving guaranteed buffering for
+// a latency-critical class while the bulk class monopolizes the rest.
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "common/types.hpp"
@@ -79,11 +87,23 @@ struct VcRange {
 class VcPolicy {
  public:
   /// `num_vcs` is the number of VCs per input port (>= 2 for any policy
-  /// that partitions).
-  VcPolicy(VcPolicyKind kind, int num_vcs);
+  /// that partitions). `reserved[c]` VCs are carved out for class c before
+  /// the policy divides the remainder: class 0 owns the lowest indices,
+  /// class 1 the highest. Throws std::invalid_argument when the
+  /// reservation is unsatisfiable (more reserved than exist, a class left
+  /// with no VC, a 1-VC shared pool no partitioning policy can divide) or
+  /// combined with kDynamic, whose per-port feedback boundary bypasses
+  /// this static map.
+  VcPolicy(VcPolicyKind kind, int num_vcs,
+           std::array<int, kNumClasses> reserved = {});
 
   VcPolicyKind kind() const { return kind_; }
   int num_vcs() const { return num_vcs_; }
+  int reserved(TrafficClass cls) const { return reserved_[ClassIndex(cls)]; }
+  /// Size of the pool the base policy divides (num_vcs minus reserves).
+  int shared_vcs() const {
+    return num_vcs_ - reserved_[0] - reserved_[1];
+  }
 
   /// The VCs packets of `cls` may use on the link leaving through
   /// `link_direction`, given the link's statically analyzed class usage.
@@ -98,8 +118,13 @@ class VcPolicy {
                        LinkMode mode = LinkMode::kMixed) const;
 
  private:
+  /// The pre-reservation range of `cls` under the base policy over a
+  /// `num_vcs`-sized pool.
+  VcRange BaseAllowedVcs(TrafficClass cls, LinkMode mode, int num_vcs) const;
+
   VcPolicyKind kind_;
   int num_vcs_;
+  std::array<int, kNumClasses> reserved_{};
 };
 
 /// The VC range of `cls` when the VCs [0, num_vcs) are split at `boundary`:

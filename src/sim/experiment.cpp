@@ -119,7 +119,12 @@ void WriteStatsJson(JsonWriter& w, const GpuRunStats& stats) {
   w.Key("network").BeginObject();
   for (int c = 0; c < kNumClasses; ++c) {
     const auto cls = static_cast<std::size_t>(c);
-    w.Key(ClassName(static_cast<TrafficClass>(c))).BeginObject();
+    // Per-class keys use the configured TrafficClassSpec names (the QoS
+    // report carries them even with QoS off, defaulting to the protocol
+    // pair "request"/"reply"), so renamed classes keep stable JSON keys.
+    const std::string& label = stats.qos.classes[cls].name;
+    w.Key(label.empty() ? ClassName(static_cast<TrafficClass>(c)) : label)
+        .BeginObject();
     w.Key("packets_injected").Value(stats.network.packets_injected[cls]);
     w.Key("packets_ejected").Value(stats.network.packets_ejected[cls]);
     w.Key("flits_injected").Value(stats.network.flits_injected[cls]);
@@ -144,6 +149,8 @@ void WriteStatsJson(JsonWriter& w, const GpuRunStats& stats) {
   stats.audit.WriteJson(w);
   w.Key("telemetry");
   stats.telemetry.WriteJson(w);
+  w.Key("qos");
+  stats.qos.WriteJson(w);
 }
 
 }  // namespace

@@ -4,8 +4,36 @@
 #include <stdexcept>
 
 #include "common/cli.hpp"
+#include "common/enum_registry.hpp"
 
 namespace gnoc {
+
+namespace {
+
+const EnumRegistry<NetworkDivision>& DivisionRegistry() {
+  static const EnumRegistry<NetworkDivision> kRegistry{
+      "division",
+      {
+          {"virtual", NetworkDivision::kVirtual},
+          {"physical", NetworkDivision::kPhysical},
+      }};
+  return kRegistry;
+}
+
+const EnumRegistry<McScheduler>& McSchedulerRegistry() {
+  static const EnumRegistry<McScheduler> kRegistry{
+      "mc_scheduler",
+      {
+          {"in-order", McScheduler::kInOrder},
+          {"inorder", McScheduler::kInOrder},
+          {"fifo", McScheduler::kInOrder},
+          {"fr-fcfs", McScheduler::kFrFcfs},
+          {"frfcfs", McScheduler::kFrFcfs},
+      }};
+  return kRegistry;
+}
+
+}  // namespace
 
 GpuConfig GpuConfig::Baseline() { return GpuConfig{}; }
 
@@ -45,14 +73,7 @@ void GpuConfig::ApplyOverrides(const Config& overrides) {
       "dynamic_epoch", static_cast<std::int64_t>(dynamic_epoch)));
   allow_unsafe = overrides.GetBool("allow_unsafe", allow_unsafe);
   if (overrides.Contains("division")) {
-    const std::string d = overrides.GetString("division");
-    if (d == "virtual") {
-      division = NetworkDivision::kVirtual;
-    } else if (d == "physical") {
-      division = NetworkDivision::kPhysical;
-    } else {
-      throw std::invalid_argument("division must be virtual|physical");
-    }
+    division = DivisionRegistry().Parse(overrides.GetString("division"));
   }
   atomic_vc_realloc =
       overrides.GetBool("atomic_vc_realloc", atomic_vc_realloc);
@@ -73,18 +94,13 @@ void GpuConfig::ApplyOverrides(const Config& overrides) {
   mc_inject_flits_per_cycle = static_cast<int>(overrides.GetInt(
       "mc_inject_bw", mc_inject_flits_per_cycle));
   if (overrides.Contains("mc_scheduler")) {
-    const std::string sched = overrides.GetString("mc_scheduler");
-    if (sched == "in-order" || sched == "inorder" || sched == "fifo") {
-      mc.scheduler = McScheduler::kInOrder;
-    } else if (sched == "fr-fcfs" || sched == "frfcfs") {
-      mc.scheduler = McScheduler::kFrFcfs;
-    } else {
-      throw std::invalid_argument("mc_scheduler must be in-order|fr-fcfs");
-    }
+    mc.scheduler =
+        McSchedulerRegistry().Parse(overrides.GetString("mc_scheduler"));
   }
   if (overrides.Contains("arbiter")) {
     arbiter = ParseArbiterKind(overrides.GetString("arbiter"));
   }
+  ApplyQosOverrides(qos, overrides);
   sm.warps_per_sm =
       static_cast<int>(overrides.GetInt("warps", sm.warps_per_sm));
   sm.mshr_entries =
@@ -124,7 +140,7 @@ void RegisterGpuConfigFlags(FlagSet& flags) {
   flags.AddInt("num_mcs", def.num_mcs, "number of memory controllers",
                at_least(1));
   flags.AddEnum("topology", "mesh", "interconnect topology",
-                {"mesh", "torus", "cmesh", "circulant"});
+                TopologyRegistry());
   flags.AddInt("circulant_s1", def.circulant_s1,
                "circulant chord step s1 (topology=circulant)", at_least(1));
   flags.AddInt("circulant_s2", def.circulant_s2,
@@ -145,7 +161,7 @@ void RegisterGpuConfigFlags(FlagSet& flags) {
   flags.AddBool("allow_unsafe", def.allow_unsafe,
                 "allow protocol-deadlock-unsafe configurations");
   flags.AddEnum("division", "virtual", "request/reply network division",
-                {"virtual", "physical"});
+                DivisionRegistry());
   flags.AddBool("atomic_vc_realloc", def.atomic_vc_realloc,
                 "conservative (atomic) VC reallocation");
   flags.AddBool("record_trace", def.record_trace,
@@ -163,19 +179,23 @@ void RegisterGpuConfigFlags(FlagSet& flags) {
   flags.AddString("scheduling", "full",
                   "NoC component scheduling (full|active-set|event|soa)",
                   parsed_by(ParseSchedulingMode));
+  flags.AddString("qos", "none",
+                  "QoS arbitration discipline (none|strict|wrr)",
+                  parsed_by(ParseQosArbitration));
+  flags.AddString(
+      "qos_class", "",
+      "traffic class spec '<name>[,prio=N][,rate=X][,burst=N][,vcs=N]"
+      "[,p99=X]'; the i-th occurrence configures class i (request, reply)",
+      parsed_by(ParseTrafficClassSpec));
   flags.AddBool("ideal_noc", def.ideal_noc,
                 "replace the NoC with the contention-free ideal fabric");
   flags.AddInt("mc_inject_bw", def.mc_inject_flits_per_cycle,
                "MC NIC injection bandwidth (flits/cycle)", at_least(1));
   flags.AddString("mc_scheduler", "in-order",
                   "MC request scheduling (in-order|fr-fcfs)",
-                  [](const std::string& v) -> std::string {
-                    if (v == "in-order" || v == "inorder" || v == "fifo" ||
-                        v == "fr-fcfs" || v == "frfcfs") {
-                      return "";
-                    }
-                    return "must be in-order|fr-fcfs";
-                  });
+                  parsed_by([](const std::string& v) {
+                    return McSchedulerRegistry().Parse(v);
+                  }));
   flags.AddString("arbiter", "rr", "VA/SA arbiter (rr|matrix)",
                   parsed_by(ParseArbiterKind));
   flags.AddInt("warps", def.sm.warps_per_sm, "warps per SM", at_least(1));
@@ -200,6 +220,7 @@ std::string GpuConfig::Describe() const {
   if (scheduling == SchedulingMode::kActiveSet) oss << ", active-set sched";
   if (scheduling == SchedulingMode::kEvent) oss << ", event sched";
   if (scheduling == SchedulingMode::kSoa) oss << ", soa sched";
+  if (qos.Enabled()) oss << ", qos " << QosArbitrationName(qos.arbitration);
   return oss.str();
 }
 

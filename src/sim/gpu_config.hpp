@@ -9,6 +9,7 @@
 #include "gpgpu/sm.hpp"
 #include "noc/network.hpp"
 #include "noc/placement.hpp"
+#include "noc/qos.hpp"
 #include "noc/topology.hpp"
 
 namespace gnoc {
@@ -94,6 +95,12 @@ struct GpuConfig {
   /// provisions 2x injection bandwidth at the few MCs for burst replies;
   /// 1 matches the paper's symmetric baseline.
   int mc_inject_flits_per_cycle = 1;
+
+  /// QoS traffic classes (noc/qos.hpp, DESIGN.md §15): per-class allocator
+  /// priority, token-bucket injection regulation, VC reservation and p99
+  /// SLO target. Defaults are a behaviour-preserving no-op. Set via `qos=`
+  /// and repeated `qos_class=` overrides.
+  QosConfig qos;
 
   // --- cores & memory (Table 2) ---
   SmConfig sm;

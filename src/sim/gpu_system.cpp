@@ -22,6 +22,7 @@ void Save(Serializer& s, const GpuRunStats& stats) {
   s.Bool(stats.deadlocked);
   stats.audit.Save(s);
   stats.telemetry.Save(s);
+  stats.qos.Save(s);
 }
 
 void Load(Deserializer& d, GpuRunStats& stats) {
@@ -38,6 +39,7 @@ void Load(Deserializer& d, GpuRunStats& stats) {
   stats.deadlocked = d.Bool();
   stats.audit.Load(d);
   stats.telemetry.Load(d);
+  stats.qos.Load(d);
 }
 
 namespace {
@@ -124,7 +126,10 @@ std::uint64_t GpuConfigFingerprint(const GpuConfig& config,
   s.I32(workload.working_set_lines);
   s.I32(workload.write_request_flits);
   s.I32(workload.coalescing_degree);
-  return Fnv1a64(s.bytes());
+  // QoS class specs fold in on top (HashQosConfig hashes every TrafficClass-
+  // Spec field, names included), so two runs differing only in QoS policy
+  // never share snapshots.
+  return HashQosConfig(Fnv1a64(s.bytes()), config.qos);
 }
 
 GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
@@ -138,7 +143,9 @@ GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
         Topology::Make(config_.topology, config_.width, config_.height,
                        config_.circulant_s1, config_.circulant_s2);
     ValidatePolicyOrThrow(topo, plan_, config_.routing, config_.vc_policy,
-                          config_.allow_unsafe);
+                          config_.allow_unsafe,
+                          {config_.qos.classes[0].reserved_vcs,
+                           config_.qos.classes[1].reserved_vcs});
   }
 
   NetworkConfig net;
@@ -163,6 +170,7 @@ GpuSystem::GpuSystem(const GpuConfig& config, const WorkloadProfile& workload)
   net.telemetry_interval = config_.telemetry_interval;
   net.telemetry_max_windows = config_.telemetry_max_windows;
   net.scheduling = config_.scheduling;
+  net.qos = config_.qos;
   if (config_.ideal_noc) {
     IdealFabricConfig ideal;
     ideal.width = config_.width;
@@ -300,8 +308,10 @@ GpuRunStats GpuSystem::Measure() const {
   for (const auto& sm : sms_) read_latency.Merge(sm->stats().read_latency);
   out.avg_read_latency = read_latency.mean();
   out.deadlocked = xport_->Deadlocked();
-  out.audit = xport_->CollectAuditReport();
-  out.telemetry = xport_->CollectTelemetry();
+  const RunReport report = xport_->CollectRunReport();
+  out.audit = report.audit;
+  out.telemetry = report.telemetry;
+  out.qos = report.qos;
   return out;
 }
 

@@ -47,6 +47,9 @@ struct GpuRunStats {
   /// Windows span the whole run timeline, warm-up included — telemetry is
   /// precisely the tool for *seeing* the warm-up transient.
   TelemetryReport telemetry;
+  /// QoS outcome (enabled == false unless GpuConfig::qos configures any
+  /// class): per-class delivery, throttling and SLO verdicts.
+  QosReport qos;
 };
 
 /// Serialization of measured results (checkpoint cell files).
